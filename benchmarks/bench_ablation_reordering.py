@@ -1,0 +1,83 @@
+"""Ablation B — reordering tolerance in the packet-scatter phase (Section 2).
+
+Spraying packets over all ECMP paths reorders them; the paper proposes a
+topology-informed duplicate-ACK threshold (derived from FatTree addressing)
+or an RR-TCP-style adaptive threshold.  This ablation runs the same packet-
+scatter workload with:
+
+* the standard static threshold of 3 (no mitigation),
+* the topology-informed threshold,
+* the adaptive (RR-TCP-like) threshold,
+
+and reports spurious fast retransmissions and completion times.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from bench_common import small_config
+from repro.experiments.runner import run_experiment
+from repro.metrics.reporting import render_table
+from repro.traffic.flowspec import PROTOCOL_MMPTCP
+
+
+def _run_reordering_ablation():
+    # Pure packet scatter (never switch) isolates the reordering behaviour.
+    config = small_config().with_protocol(PROTOCOL_MMPTCP, 8).with_updates(
+        switching_policy="never"
+    )
+    variants = {
+        "static dupACK=3": config.with_updates(reordering_policy="static"),
+        "topology-informed": config.with_updates(reordering_policy="topology_informed"),
+        "adaptive (RR-TCP)": config.with_updates(reordering_policy="adaptive"),
+    }
+    return {label: run_experiment(cfg) for label, cfg in variants.items()}
+
+
+def _spurious_and_retx(result) -> tuple:
+    shorts = result.metrics.short_flows
+    spurious = sum(record.spurious_retransmits for record in shorts)
+    fast_retx = sum(record.fast_retransmits for record in shorts)
+    retx = sum(record.retransmitted_packets for record in shorts)
+    return spurious, fast_retx, retx
+
+
+@pytest.mark.benchmark(group="ablation-reordering")
+def test_ablation_reordering_policies(benchmark) -> None:
+    """Compare duplicate-ACK threshold policies for the packet-scatter phase."""
+    results = benchmark.pedantic(_run_reordering_ablation, rounds=1, iterations=1)
+
+    rows = []
+    for label, result in results.items():
+        spurious, fast_retx, retx = _spurious_and_retx(result)
+        summary = result.metrics.short_flow_fct_summary()
+        rows.append([
+            label,
+            f"{summary.mean:.1f}",
+            f"{summary.std:.1f}",
+            fast_retx,
+            spurious,
+            retx,
+            f"{100 * result.metrics.rto_incidence():.1f}%",
+        ])
+    print("\nAblation B — packet-scatter reordering handling")
+    print(
+        render_table(
+            ["policy", "mean FCT (ms)", "std FCT (ms)", "fast retx",
+             "spurious retx", "retx packets", "RTO incidence"],
+            rows,
+        )
+    )
+    print(
+        "Paper: without mitigation, reordering is misread as loss; the topology-\n"
+        "informed and adaptive thresholds suppress spurious fast retransmissions."
+    )
+
+    static_fast = _spurious_and_retx(results["static dupACK=3"])[1]
+    informed_fast = _spurious_and_retx(results["topology-informed"])[1]
+    # The informed threshold must not cause more fast retransmissions than the
+    # naive static threshold on the identical workload.
+    assert informed_fast <= static_fast
+    for label, result in results.items():
+        assert result.metrics.short_flow_completion_rate() > 0.9, label

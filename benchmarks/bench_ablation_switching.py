@@ -1,0 +1,72 @@
+"""Ablation A — phase-switching strategies (Section 2, "Phase Switching").
+
+The paper proposes two switching strategies (data volume and congestion
+event) and reports that data-volume switching does not hurt long-flow
+throughput because the freshly opened subflows ramp up within a few RTTs.
+This ablation compares:
+
+* data-volume switching at several thresholds,
+* congestion-event switching,
+* never switching (pure packet scatter), and
+* plain MPTCP (switching "at time zero", as a reference).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from bench_common import SUMMARY_HEADERS, small_config, summary_row
+from repro.experiments.runner import run_experiment
+from repro.metrics.reporting import render_table
+from repro.traffic.flowspec import PROTOCOL_MMPTCP, PROTOCOL_MPTCP
+
+
+def _run_switching_ablation():
+    config = small_config()
+    variants = {
+        "mptcp (switch at t=0)": config.with_protocol(PROTOCOL_MPTCP, 8),
+        "mmptcp volume 70KB": config.with_protocol(PROTOCOL_MMPTCP, 8).with_updates(
+            switching_policy="data_volume", switching_threshold_bytes=70_000
+        ),
+        "mmptcp volume 140KB": config.with_protocol(PROTOCOL_MMPTCP, 8).with_updates(
+            switching_policy="data_volume", switching_threshold_bytes=140_000
+        ),
+        "mmptcp volume 280KB": config.with_protocol(PROTOCOL_MMPTCP, 8).with_updates(
+            switching_policy="data_volume", switching_threshold_bytes=280_000
+        ),
+        "mmptcp congestion-event": config.with_protocol(PROTOCOL_MMPTCP, 8).with_updates(
+            switching_policy="congestion_event"
+        ),
+        "packet scatter (never switch)": config.with_protocol(PROTOCOL_MMPTCP, 8).with_updates(
+            switching_policy="never"
+        ),
+    }
+    return {label: run_experiment(cfg) for label, cfg in variants.items()}
+
+
+@pytest.mark.benchmark(group="ablation-switching")
+def test_ablation_phase_switching_strategies(benchmark) -> None:
+    """Compare switching policies on short-flow FCT and long-flow throughput."""
+    results = benchmark.pedantic(_run_switching_ablation, rounds=1, iterations=1)
+
+    rows = [summary_row(label, result.metrics.summary_dict()) for label, result in results.items()]
+    print("\nAblation A — phase-switching strategies")
+    print(render_table(SUMMARY_HEADERS, rows))
+    print(
+        "Paper: data-volume switching does not reduce long-flow throughput; short\n"
+        "flows should complete during the packet-scatter phase."
+    )
+
+    mptcp_tput = results["mptcp (switch at t=0)"].metrics.mean_long_flow_throughput_bps()
+    for label, result in results.items():
+        metrics = result.metrics
+        assert metrics.short_flow_completion_rate() > 0.9, label
+        if label.startswith("mmptcp volume"):
+            # Long-flow throughput parity with plain MPTCP (within 35 %).
+            tput = metrics.mean_long_flow_throughput_bps()
+            assert abs(tput - mptcp_tput) / max(mptcp_tput, 1e-9) < 0.35, label
+
+    # Short flows should never switch phases under the volume policies >= 70 KB.
+    for label in ("mmptcp volume 140KB", "mmptcp volume 280KB"):
+        records = results[label].metrics.short_flows
+        assert all(record.phase_at_completion == "packet_scatter" for record in records), label

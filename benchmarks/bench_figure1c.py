@@ -1,0 +1,74 @@
+"""Figure 1(c): per-flow completion times for MMPTCP (packet scatter + 8 subflows).
+
+The paper's scatter shows the tail collapsing compared to Figure 1(b): the
+majority of short flows complete within 100 ms and very few reach RTO-scale
+completion times.  The benchmark runs MMPTCP on exactly the same workload
+(same seed) as the Figure 1(b) benchmark and compares the two tails.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from bench_common import base_config
+from repro.experiments.figure1 import figure1b_scatter, figure1c_scatter, scatter_points
+from repro.metrics.reporting import render_table
+from repro.metrics.stats import fraction_above
+
+
+@pytest.mark.benchmark(group="figure1c")
+def test_figure1c_mmptcp_completion_scatter(benchmark) -> None:
+    """Regenerate the MMPTCP per-flow scatter and compare its tail to MPTCP(8)."""
+    config = base_config()
+
+    mmptcp_result = benchmark.pedantic(
+        figure1c_scatter, args=(config, 8), rounds=1, iterations=1
+    )
+    mptcp_result = figure1b_scatter(config, 8)
+
+    mmptcp = mmptcp_result.metrics
+    mptcp = mptcp_result.metrics
+    mmptcp_fct = mmptcp.short_flow_fct_ms()
+    mptcp_fct = mptcp.short_flow_fct_ms()
+
+    def row(label, metrics, fct):
+        summary = metrics.short_flow_fct_summary()
+        return [
+            label,
+            summary.count,
+            f"{summary.mean:.1f}",
+            f"{summary.std:.1f}",
+            f"{summary.p99:.1f}",
+            f"{100 * fraction_above(fct, 100.0):.1f}%",
+            f"{100 * fraction_above(fct, 200.0):.1f}%",
+            f"{100 * metrics.rto_incidence():.1f}%",
+        ]
+
+    print("\nFigure 1(c) — MMPTCP (PS + 8 subflows) vs Figure 1(b) — MPTCP (8 subflows)")
+    print(
+        render_table(
+            ["protocol", "flows", "mean (ms)", "std (ms)", "p99 (ms)",
+             "> 100 ms", "> 200 ms", ">= 1 RTO"],
+            [
+                row("mmptcp (Fig 1c)", mmptcp, mmptcp_fct),
+                row("mptcp-8 (Fig 1b)", mptcp, mptcp_fct),
+            ],
+        )
+    )
+    print(
+        "Paper: MMPTCP 116 ms mean / 101 ms std with the majority of flows under\n"
+        "100 ms; MPTCP 126 ms mean / 425 ms std with a heavy RTO tail."
+    )
+
+    points = scatter_points(mmptcp_result)
+    assert len(points) == len(mmptcp_fct) > 0
+
+    # Qualitative reproduction targets (the RTO mechanism behind the Figure 1(b)
+    # tail; absolute mean/std are scale-sensitive — see EXPERIMENTS.md):
+    # 1. MMPTCP suffers RTOs on at most as many short flows as MPTCP.
+    assert mmptcp.rto_incidence() <= mptcp.rto_incidence() + 1e-9
+    # 2. Every short flow eventually completes under MMPTCP.
+    assert mmptcp.short_flow_completion_rate() >= mptcp.short_flow_completion_rate()
+    # 3. MMPTCP's completion-time spread stays within the same order of
+    #    magnitude as MPTCP's (the paper reports a 4x reduction at full scale).
+    assert mmptcp.short_flow_fct_summary().std <= mptcp.short_flow_fct_summary().std * 2.0

@@ -1,0 +1,43 @@
+"""Pytest configuration for the benchmark suite.
+
+Makes the sibling ``bench_common`` module importable regardless of the
+directory pytest is invoked from, registers the ``benchmark`` marker, and
+re-emits each benchmark's printed figure/table reproduction after the test
+finishes — with capturing suspended — so the tables appear in the console
+*and* in piped output (``pytest benchmarks/ --benchmark-only | tee
+bench_output.txt``) without needing ``-s``.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+BENCH_DIR = Path(__file__).resolve().parent
+if str(BENCH_DIR) not in sys.path:
+    sys.path.insert(0, str(BENCH_DIR))
+
+
+def pytest_configure(config) -> None:
+    config.addinivalue_line("markers", "benchmark: benchmark harness tests")
+
+
+@pytest.fixture(autouse=True)
+def _show_reproduction_tables(request, capsys):
+    """Replay each benchmark's printed reproduction with capture suspended.
+
+    ``capfd.disabled()`` only reaches a real terminal; suspending the capture
+    manager and writing the captured text to the process's stdout also works
+    when the output is piped or redirected, which is how ``bench_output.txt``
+    is produced.
+    """
+    yield
+    captured = capsys.readouterr()
+    if not captured.out.strip():
+        return
+    capmanager = request.config.pluginmanager.getplugin("capturemanager")
+    with capmanager.global_and_fixture_disabled():
+        sys.stdout.write(captured.out)
+        sys.stdout.flush()

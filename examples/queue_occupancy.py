@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Queue build-up during an incast burst: TCP vs MMPTCP's packet scatter.
+
+The paper's introduction blames short-flow deadline misses on "queue
+build-ups, buffer pressure and TCP Incast".  This example fires the same
+synchronised 16-to-1 burst of 70 KB responses through a FatTree twice —
+once with single-path TCP, once with MMPTCP (whose short responses stay in
+the packet-scatter phase) — while a sampler records every switch queue's
+occupancy each 0.5 ms.  It then prints where the packets piled up.
+
+Run with:  python examples/queue_occupancy.py
+"""
+
+from __future__ import annotations
+
+from repro.experiments import ExperimentConfig
+from repro.experiments.incast_study import build_incast_workload_for
+from repro.experiments.runner import build_topology, create_flow
+from repro.metrics.reporting import render_table
+from repro.metrics.timeseries import QueueOccupancySampler
+from repro.sim.engine import Simulator
+from repro.sim.randomness import RandomStreams
+from repro.sim.units import megabits_per_second
+from repro.traffic import PROTOCOL_MMPTCP, PROTOCOL_TCP
+
+FAN_IN = 16
+RESPONSE_BYTES = 70_000
+
+
+def run_burst(protocol: str):
+    """Run one synchronised burst and return (sampler, completed, horizon)."""
+    config = ExperimentConfig(
+        fattree_k=4,
+        hosts_per_edge=4,
+        link_rate_bps=megabits_per_second(100),
+        arrival_window_s=0.05,
+        drain_time_s=2.0,
+        protocol=protocol,
+        num_subflows=8,
+        initial_cwnd_segments=2,
+        seed=5,
+    )
+    simulator = Simulator()
+    streams = RandomStreams(config.seed)
+    topology = build_topology(config, simulator)
+    workload = build_incast_workload_for(config, FAN_IN, RESPONSE_BYTES, protocol)
+
+    instances = []
+    for spec in workload.flows:
+        instance = create_flow(spec, config, topology, simulator, streams)
+        instances.append(instance)
+        simulator.schedule_at(spec.start_time, instance.sender.start)
+
+    sampler = QueueOccupancySampler(simulator, topology.switches, interval_s=5e-4)
+    sampler.start()
+    simulator.run(until=config.horizon_s)
+    completed = sum(1 for instance in instances if instance.receiver.complete)
+    return sampler, completed, config.horizon_s
+
+
+def main() -> None:
+    print(f"Synchronised {FAN_IN}-to-1 incast of {RESPONSE_BYTES // 1000} KB responses "
+          f"on a 4-ary FatTree\n")
+    rows = []
+    details = {}
+    for protocol in (PROTOCOL_TCP, PROTOCOL_MMPTCP):
+        sampler, completed, _ = run_burst(protocol)
+        edge = sampler.layer_summary("edge")
+        aggregation = sampler.layer_summary("aggregation")
+        core = sampler.layer_summary("core")
+        rows.append([
+            protocol,
+            f"{completed}/{FAN_IN}",
+            edge.peak_packets,
+            f"{edge.mean_packets:.1f}",
+            aggregation.peak_packets,
+            core.peak_packets,
+        ])
+        details[protocol] = sampler
+
+    print(render_table(
+        ["protocol", "responses delivered", "edge peak (pkts)", "edge mean (pkts)",
+         "agg peak (pkts)", "core peak (pkts)"],
+        rows,
+    ))
+
+    print("\nBusiest queues per protocol (switch, port, peak packets):")
+    for protocol, sampler in details.items():
+        print(f"  {protocol}:")
+        for switch, port, peak in sampler.busiest_queues(top=3):
+            print(f"    {switch:22s} port {port}  peak {peak} packets")
+    print("\nThe receiver's own edge port is the incast bottleneck for every transport")
+    print("(no spraying can widen a single downlink); the difference shows upstream,")
+    print("where the scattered burst spreads its packets over more aggregation and")
+    print("core queues instead of a single path per sender.")
+
+
+if __name__ == "__main__":
+    main()

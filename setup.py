@@ -1,0 +1,4 @@
+"""Setup shim: metadata lives in pyproject.toml ([project] table)."""
+from setuptools import setup
+
+setup()

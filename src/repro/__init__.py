@@ -1,0 +1,43 @@
+"""MMPTCP reproduction library.
+
+A packet-level discrete-event simulator of data-centre networks together
+with TCP NewReno, DCTCP, MPTCP (LIA) and **MMPTCP** — the hybrid transport
+of Kheirkhah, Wakeman & Parisis, *Short vs. Long Flows: A Battle That Both
+Can Win* (SIGCOMM 2015) — plus the workloads, metrics and experiment
+harnesses needed to regenerate every figure and statistic in that paper.
+
+Typical use::
+
+    from repro.experiments import reproduction_scale, run_experiment
+
+    config = reproduction_scale(protocol="mmptcp", num_subflows=8)
+    result = run_experiment(config)
+    print(result.metrics.summary_dict())
+"""
+
+from repro import (
+    analysis,
+    core,
+    experiments,
+    metrics,
+    net,
+    sim,
+    topology,
+    traffic,
+    transport,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "analysis",
+    "core",
+    "experiments",
+    "metrics",
+    "net",
+    "sim",
+    "topology",
+    "traffic",
+    "transport",
+    "__version__",
+]

@@ -1,0 +1,162 @@
+"""Comparing experiment results.
+
+The paper's evaluation is a set of *pairwise comparisons* on identical
+workloads (MPTCP vs MMPTCP, switching policy A vs B, ...).  This module
+turns two or more :class:`~repro.metrics.collector.ExperimentMetrics` (or
+their flat summary dictionaries) into explicit per-metric comparisons, and
+provides a small regression checker so a stored baseline summary can guard
+against silent behaviour changes in the simulator or the protocols.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Union
+
+from repro.metrics.collector import ExperimentMetrics
+
+Summary = Mapping[str, float]
+MetricsOrSummary = Union[ExperimentMetrics, Summary]
+
+#: Metrics where a smaller value is the better outcome.
+LOWER_IS_BETTER = frozenset(
+    {
+        "short_fct_mean_ms",
+        "short_fct_std_ms",
+        "short_fct_p99_ms",
+        "rto_incidence",
+        "tail_over_200ms",
+        "core_loss_rate",
+        "aggregation_loss_rate",
+        "edge_loss_rate",
+    }
+)
+
+#: Metrics where a larger value is the better outcome.
+HIGHER_IS_BETTER = frozenset(
+    {
+        "short_completion_rate",
+        "long_flow_throughput_mbps",
+        "core_utilisation",
+    }
+)
+
+
+def _as_summary(value: MetricsOrSummary) -> Dict[str, float]:
+    if isinstance(value, ExperimentMetrics):
+        return value.summary_dict()
+    return dict(value)
+
+
+@dataclass(frozen=True)
+class MetricComparison:
+    """One metric measured under two configurations."""
+
+    metric: str
+    baseline: float
+    candidate: float
+
+    @property
+    def absolute_delta(self) -> float:
+        """Candidate minus baseline."""
+        return self.candidate - self.baseline
+
+    @property
+    def relative_delta(self) -> float:
+        """Relative change versus the baseline (0.0 when the baseline is zero and unchanged)."""
+        if self.baseline == 0:
+            return 0.0 if self.candidate == 0 else float("inf")
+        return (self.candidate - self.baseline) / abs(self.baseline)
+
+    @property
+    def direction(self) -> str:
+        """``better`` / ``worse`` / ``equal`` / ``neutral`` for the candidate."""
+        if self.candidate == self.baseline:
+            return "equal"
+        candidate_smaller = self.candidate < self.baseline
+        if self.metric in LOWER_IS_BETTER:
+            return "better" if candidate_smaller else "worse"
+        if self.metric in HIGHER_IS_BETTER:
+            return "worse" if candidate_smaller else "better"
+        return "neutral"
+
+
+def compare_summaries(
+    baseline: MetricsOrSummary,
+    candidate: MetricsOrSummary,
+    metrics: Optional[Sequence[str]] = None,
+) -> List[MetricComparison]:
+    """Per-metric comparison of two runs.
+
+    Args:
+        baseline / candidate: metrics objects or flat summary dictionaries.
+        metrics: restrict the comparison to these keys (default: every key
+            present in both summaries, in the baseline's order).
+    """
+    base = _as_summary(baseline)
+    cand = _as_summary(candidate)
+    keys = list(metrics) if metrics is not None else [key for key in base if key in cand]
+    comparisons = []
+    for key in keys:
+        if key not in base or key not in cand:
+            raise KeyError(f"metric {key!r} missing from one of the summaries")
+        comparisons.append(MetricComparison(metric=key, baseline=base[key], candidate=cand[key]))
+    return comparisons
+
+
+def compare_protocols(
+    results: Mapping[str, MetricsOrSummary],
+    metric: str,
+    lower_is_better: Optional[bool] = None,
+) -> List[tuple]:
+    """Rank protocols by one metric.
+
+    Returns ``(protocol, value)`` pairs sorted best-first.  The ranking
+    direction is taken from the metric conventions above unless
+    ``lower_is_better`` is given explicitly.
+    """
+    if lower_is_better is None:
+        if metric in LOWER_IS_BETTER:
+            lower_is_better = True
+        elif metric in HIGHER_IS_BETTER:
+            lower_is_better = False
+        else:
+            raise ValueError(
+                f"no ranking convention known for {metric!r}; pass lower_is_better explicitly"
+            )
+    pairs = []
+    for protocol, value in results.items():
+        summary = _as_summary(value)
+        if metric not in summary:
+            raise KeyError(f"metric {metric!r} missing from {protocol!r}")
+        pairs.append((protocol, summary[metric]))
+    return sorted(pairs, key=lambda item: item[1], reverse=not lower_is_better)
+
+
+def regression_check(
+    baseline: MetricsOrSummary,
+    candidate: MetricsOrSummary,
+    tolerances: Mapping[str, float],
+) -> List[str]:
+    """Check a new run against a stored baseline.
+
+    ``tolerances`` maps metric name to the maximum allowed relative
+    degradation (e.g. ``{"short_fct_mean_ms": 0.2}`` allows the mean FCT to
+    grow by at most 20 %).  Only degradations count: improvements never
+    trigger a violation.  Returns a human-readable message per violated
+    metric (empty list = no regressions).
+    """
+    violations: List[str] = []
+    for comparison in compare_summaries(baseline, candidate, metrics=list(tolerances)):
+        allowed = tolerances[comparison.metric]
+        if allowed < 0:
+            raise ValueError("tolerances must be non-negative")
+        if comparison.direction != "worse":
+            continue
+        magnitude = abs(comparison.relative_delta)
+        if magnitude > allowed:
+            violations.append(
+                f"{comparison.metric}: {comparison.baseline:.4g} -> {comparison.candidate:.4g} "
+                f"({100 * magnitude:.1f}% worse, tolerance {100 * allowed:.1f}%)"
+            )
+    return violations

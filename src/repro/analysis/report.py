@@ -1,0 +1,102 @@
+"""Markdown report generation.
+
+``EXPERIMENTS.md`` records paper-vs-measured outcomes in a fixed structure:
+a claim, how it was regenerated, what was measured, and a verdict.  These
+helpers produce that structure (and plain markdown tables) from experiment
+results, so a reproduction run can regenerate its own report instead of the
+numbers being transcribed by hand.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+from repro.analysis.compare import MetricComparison
+
+#: How numeric cells are formatted by default.
+_FLOAT_FORMAT = "{:.3f}"
+
+
+def _format_cell(value: object) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return _FLOAT_FORMAT.format(value)
+    return str(value)
+
+
+def markdown_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """A GitHub-flavoured markdown table."""
+    lines = [
+        "| " + " | ".join(str(header) for header in headers) + " |",
+        "|" + "|".join("---" for _ in headers) + "|",
+    ]
+    for row in rows:
+        lines.append("| " + " | ".join(_format_cell(cell) for cell in row) + " |")
+    return "\n".join(lines)
+
+
+def summary_comparison_markdown(
+    comparisons: Sequence[MetricComparison],
+    baseline_label: str = "baseline",
+    candidate_label: str = "candidate",
+) -> str:
+    """A markdown table of per-metric deltas between two runs."""
+    headers = ["metric", baseline_label, candidate_label, "delta", "relative", "direction"]
+    rows = []
+    for comparison in comparisons:
+        relative = comparison.relative_delta
+        relative_text = "inf" if relative == float("inf") else f"{100 * relative:+.1f}%"
+        rows.append(
+            [
+                comparison.metric,
+                comparison.baseline,
+                comparison.candidate,
+                comparison.absolute_delta,
+                relative_text,
+                comparison.direction,
+            ]
+        )
+    return markdown_table(headers, rows)
+
+
+def experiment_section(
+    title: str,
+    paper_claim: str,
+    bench: str,
+    measured_rows: Sequence[Mapping[str, object]],
+    verdict: str,
+    notes: Optional[str] = None,
+) -> str:
+    """One EXPERIMENTS.md-style section as a markdown string.
+
+    Args:
+        title: section heading (e.g. ``"Figure 1(a) — ..."``).
+        paper_claim: what the paper reports.
+        bench: the benchmark / command that regenerates it.
+        measured_rows: homogeneous dictionaries with the measured numbers
+            (rendered as a table; empty list renders a placeholder line).
+        verdict: one-line reproduction verdict.
+        notes: optional extra paragraph (caveats, scale sensitivity, ...).
+    """
+    lines: List[str] = [f"### {title}", ""]
+    lines.append(f"* **Paper:** {paper_claim}")
+    lines.append(f"* **Bench:** `{bench}`")
+    lines.append(f"* **Verdict:** {verdict}")
+    lines.append("")
+    if measured_rows:
+        headers = list(measured_rows[0].keys())
+        table_rows = [[row[header] for header in headers] for row in measured_rows]
+        lines.append(markdown_table(headers, table_rows))
+    else:
+        lines.append("_No measurements recorded._")
+    if notes:
+        lines.extend(["", notes])
+    lines.append("")
+    return "\n".join(lines)
+
+
+def report_document(sections: Sequence[str], title: str = "Reproduction report") -> str:
+    """Join sections into one markdown document with a top-level heading."""
+    body = "\n".join(section.rstrip() + "\n" for section in sections)
+    return f"# {title}\n\n{body}"

@@ -1,0 +1,385 @@
+"""Command-line interface for the MMPTCP reproduction.
+
+Exposes the experiment harness without writing any Python::
+
+    repro-mmptcp run --protocol mmptcp --subflows 8 --k 4 --hosts-per-edge 8
+    repro-mmptcp figure1a --scale quick
+    repro-mmptcp section3 --scale quick --export-dir results/
+    repro-mmptcp loadsweep --factors 0.5 1.0 2.0
+    repro-mmptcp coexistence
+    repro-mmptcp incast --fan-ins 8 16 32 --topologies fattree dualhomed
+    repro-mmptcp deadlines --slack 2.0
+
+Every sub-command prints the same tables the corresponding benchmark prints
+and can optionally export per-flow CSVs / JSON summaries via
+``--export-dir``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments.coexistence import coexistence_rows, run_coexistence_experiment
+from repro.experiments.config import ExperimentConfig, paper_scale, reproduction_scale
+from repro.experiments.deadline_study import deadline_rows, run_deadline_study
+from repro.experiments.figure1 import figure1a_series, figure1b_scatter, figure1c_scatter
+from repro.experiments.hotspot import hotspot_rows, run_hotspot_comparison
+from repro.experiments.incast_study import incast_rows, run_incast_sweep
+from repro.experiments.loadsweep import load_sweep_rows, run_load_sweep
+from repro.experiments.runner import ExperimentResult, run_experiment
+from repro.experiments.section3 import section3_statistics
+from repro.metrics.export import (
+    write_flow_records_csv,
+    write_series_csv,
+    write_summary_json,
+)
+from repro.metrics.reporting import render_table
+from repro.sim.units import megabits_per_second
+from repro.traffic.flowspec import ALL_PROTOCOLS, PROTOCOL_MMPTCP, PROTOCOL_MPTCP
+
+#: Named scales mirroring the benchmark suite's REPRO_BENCH_SCALE values.
+SCALES = ("quick", "large", "paper")
+
+
+def _scaled_config(scale: str, seed: int) -> ExperimentConfig:
+    """The base configuration for one of the named scales."""
+    if scale == "paper":
+        return paper_scale(seed=seed)
+    config = reproduction_scale(
+        fattree_k=4,
+        hosts_per_edge=8,
+        link_rate_bps=megabits_per_second(100),
+        arrival_window_s=0.25,
+        drain_time_s=1.0,
+        short_flow_rate_per_sender=7.0,
+        long_flow_size_bytes=3_000_000,
+        max_short_flows=120,
+        initial_cwnd_segments=2,
+        seed=seed,
+    )
+    if scale == "large":
+        config = config.with_updates(
+            fattree_k=8,
+            arrival_window_s=0.5,
+            short_flow_rate_per_sender=10.0,
+            long_flow_size_bytes=10_000_000,
+            max_short_flows=600,
+        )
+    return config
+
+
+def _config_from_args(args: argparse.Namespace) -> ExperimentConfig:
+    """Build an :class:`ExperimentConfig` from the ``run`` sub-command's flags."""
+    config = _scaled_config(args.scale, args.seed)
+    overrides = {
+        "protocol": args.protocol,
+        "num_subflows": args.subflows,
+    }
+    if args.k is not None:
+        overrides["fattree_k"] = args.k
+    if args.hosts_per_edge is not None:
+        overrides["hosts_per_edge"] = args.hosts_per_edge
+    if args.link_mbps is not None:
+        overrides["link_rate_bps"] = megabits_per_second(args.link_mbps)
+    if args.max_short_flows is not None:
+        overrides["max_short_flows"] = args.max_short_flows
+    if args.arrival_rate is not None:
+        overrides["short_flow_rate_per_sender"] = args.arrival_rate
+    if args.topology is not None:
+        overrides["topology"] = args.topology
+    if args.queue is not None:
+        overrides["queue_kind"] = args.queue
+    if args.switching is not None:
+        overrides["switching_policy"] = args.switching
+    return config.with_updates(**overrides)
+
+
+def _print_summary(result: ExperimentResult) -> None:
+    summary = result.metrics.summary_dict()
+    rows = [[key, f"{value:.4f}"] for key, value in sorted(summary.items())]
+    print(render_table(["metric", "value"], rows))
+    print(
+        f"events processed: {result.events_processed}, "
+        f"wall-clock: {result.wallclock_s:.1f} s, flows: {result.workload_size}"
+    )
+
+
+def _maybe_export(result: ExperimentResult, export_dir: Optional[str], stem: str) -> None:
+    if not export_dir:
+        return
+    directory = Path(export_dir)
+    flows_path = write_flow_records_csv(result.metrics.flows, directory / f"{stem}_flows.csv")
+    summary_path = write_summary_json(
+        result.metrics,
+        directory / f"{stem}_summary.json",
+        extra={"protocol": result.config.protocol, "seed": result.config.seed},
+    )
+    print(f"wrote {flows_path} and {summary_path}")
+
+
+def _export_rows(rows: List[Dict[str, object]], export_dir: Optional[str], stem: str) -> None:
+    if not export_dir or not rows:
+        return
+    path = write_series_csv(rows, Path(export_dir) / f"{stem}.csv")
+    print(f"wrote {path}")
+
+
+def _rows_table(rows: List[Dict[str, object]]) -> str:
+    if not rows:
+        return "(no rows)"
+    headers = list(rows[0].keys())
+    body = []
+    for row in rows:
+        cells = []
+        for header in headers:
+            value = row[header]
+            cells.append(f"{value:.4f}" if isinstance(value, float) else str(value))
+        body.append(cells)
+    return render_table(headers, body)
+
+
+# ---------------------------------------------------------------------------
+# Sub-command implementations
+# ---------------------------------------------------------------------------
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    config = _config_from_args(args)
+    print(f"running protocol={config.protocol} subflows={config.num_subflows} "
+          f"k={config.fattree_k} hosts/edge={config.hosts_per_edge} seed={config.seed}")
+    result = run_experiment(config)
+    _print_summary(result)
+    _maybe_export(result, args.export_dir, f"run_{config.protocol}")
+    return 0
+
+
+def _cmd_figure1a(args: argparse.Namespace) -> int:
+    config = _scaled_config(args.scale, args.seed)
+    counts = tuple(args.subflow_counts)
+    rows = figure1a_series(config, counts)
+    table_rows = [
+        {
+            "subflows": row.num_subflows,
+            "mean_fct_ms": row.mean_ms,
+            "std_fct_ms": row.std_ms,
+            "p99_fct_ms": row.fct_summary.p99,
+            "rto_incidence": row.rto_incidence,
+            "completion_rate": row.completion_rate,
+        }
+        for row in rows
+    ]
+    print("Figure 1(a) — MPTCP short-flow FCT vs subflow count")
+    print(_rows_table(table_rows))
+    _export_rows(table_rows, args.export_dir, "figure1a")
+    return 0
+
+
+def _cmd_figure1bc(args: argparse.Namespace, which: str) -> int:
+    config = _scaled_config(args.scale, args.seed)
+    builder = figure1b_scatter if which == "b" else figure1c_scatter
+    result = builder(config, args.subflows)
+    label = "MPTCP(8)" if which == "b" else "MMPTCP(PS + 8)"
+    print(f"Figure 1({which}) — {label} per-flow short-flow completion times")
+    _print_summary(result)
+    _maybe_export(result, args.export_dir, f"figure1{which}")
+    return 0
+
+
+def _cmd_section3(args: argparse.Namespace) -> int:
+    config = _scaled_config(args.scale, args.seed)
+    comparison = section3_statistics(config, args.subflows)
+    rows = [
+        {"protocol": "mptcp", **comparison.mptcp.as_dict()},
+        {"protocol": "mmptcp", **comparison.mmptcp.as_dict()},
+    ]
+    print("Section 3 statistics — MPTCP vs MMPTCP (paired workload)")
+    print(_rows_table(rows))
+    _export_rows(rows, args.export_dir, "section3")
+    return 0
+
+
+def _cmd_loadsweep(args: argparse.Namespace) -> int:
+    config = _scaled_config(args.scale, args.seed)
+    points = run_load_sweep(
+        config,
+        protocols=tuple(args.protocols),
+        load_factors=tuple(args.factors),
+        num_subflows=args.subflows,
+    )
+    rows = load_sweep_rows(points)
+    print("Load sweep — short-flow FCT vs offered load")
+    print(_rows_table(rows))
+    _export_rows(rows, args.export_dir, "loadsweep")
+    return 0
+
+
+def _cmd_coexistence(args: argparse.Namespace) -> int:
+    config = _scaled_config(args.scale, args.seed).with_updates(num_subflows=args.subflows)
+    outcome = run_coexistence_experiment(config, protocols=tuple(args.protocols))
+    rows = coexistence_rows(outcome)
+    print("Co-existence — per-protocol statistics on a shared fabric")
+    print(_rows_table(rows))
+    print(f"Jain fairness index over long flows: {outcome.fairness_index():.3f}")
+    _export_rows(rows, args.export_dir, "coexistence")
+    return 0
+
+
+def _cmd_hotspot(args: argparse.Namespace) -> int:
+    config = _scaled_config(args.scale, args.seed)
+    outcomes = run_hotspot_comparison(
+        config,
+        protocols=tuple(args.protocols),
+        hotspot_fraction=args.hotspot_fraction,
+        load_fraction=args.load_fraction,
+        num_subflows=args.subflows,
+    )
+    rows = hotspot_rows(outcomes)
+    print("Hotspot — per-protocol statistics under skewed destinations")
+    print(_rows_table(rows))
+    _export_rows(rows, args.export_dir, "hotspot")
+    return 0
+
+
+def _cmd_incast(args: argparse.Namespace) -> int:
+    config = _scaled_config(args.scale, args.seed).with_updates(num_subflows=args.subflows)
+    points = run_incast_sweep(
+        config,
+        protocols=tuple(args.protocols),
+        fan_ins=tuple(args.fan_ins),
+        response_bytes=args.response_kb * 1000,
+        topologies=tuple(args.topologies),
+    )
+    rows = incast_rows(points)
+    print("Incast — synchronised fan-in bursts")
+    print(_rows_table(rows))
+    _export_rows(rows, args.export_dir, "incast")
+    return 0
+
+
+def _cmd_deadlines(args: argparse.Namespace) -> int:
+    config = _scaled_config(args.scale, args.seed)
+    outcomes = run_deadline_study(
+        config,
+        protocols=tuple(args.protocols),
+        slack_factor=args.slack,
+        num_subflows=args.subflows,
+    )
+    rows = deadline_rows(outcomes)
+    print(f"Deadline study — slack factor {args.slack}")
+    print(_rows_table(rows))
+    _export_rows(rows, args.export_dir, "deadlines")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# Argument parsing
+# ---------------------------------------------------------------------------
+
+
+def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--scale", choices=SCALES, default="quick",
+                        help="experiment scale (quick/large/paper)")
+    parser.add_argument("--seed", type=int, default=20150817, help="random seed")
+    parser.add_argument("--subflows", type=int, default=8, help="MPTCP/MMPTCP subflow count")
+    parser.add_argument("--export-dir", default=None,
+                        help="directory for CSV/JSON exports (omit to skip)")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-mmptcp",
+        description="MMPTCP reproduction: run experiments and regenerate the paper's results",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = subparsers.add_parser("run", help="run one experiment")
+    _add_common_arguments(run_parser)
+    run_parser.add_argument("--protocol", choices=ALL_PROTOCOLS, default=PROTOCOL_MMPTCP)
+    run_parser.add_argument("--k", type=int, default=None, help="FatTree arity")
+    run_parser.add_argument("--hosts-per-edge", type=int, default=None)
+    run_parser.add_argument("--link-mbps", type=float, default=None)
+    run_parser.add_argument("--max-short-flows", type=int, default=None)
+    run_parser.add_argument("--arrival-rate", type=float, default=None,
+                            help="short flows per second per sender")
+    run_parser.add_argument("--topology", choices=("fattree", "dualhomed", "vl2"), default=None)
+    run_parser.add_argument("--queue", choices=("droptail", "ecn", "shared"), default=None)
+    run_parser.add_argument("--switching",
+                            choices=("data_volume", "congestion_event", "hybrid", "never"),
+                            default=None)
+    run_parser.set_defaults(handler=_cmd_run)
+
+    fig1a = subparsers.add_parser("figure1a", help="regenerate Figure 1(a)")
+    _add_common_arguments(fig1a)
+    fig1a.add_argument("--subflow-counts", type=int, nargs="+", default=[1, 2, 4, 8])
+    fig1a.set_defaults(handler=_cmd_figure1a)
+
+    fig1b = subparsers.add_parser("figure1b", help="regenerate Figure 1(b)")
+    _add_common_arguments(fig1b)
+    fig1b.set_defaults(handler=lambda args: _cmd_figure1bc(args, "b"))
+
+    fig1c = subparsers.add_parser("figure1c", help="regenerate Figure 1(c)")
+    _add_common_arguments(fig1c)
+    fig1c.set_defaults(handler=lambda args: _cmd_figure1bc(args, "c"))
+
+    section3 = subparsers.add_parser("section3", help="regenerate the Section 3 statistics")
+    _add_common_arguments(section3)
+    section3.set_defaults(handler=_cmd_section3)
+
+    loadsweep = subparsers.add_parser("loadsweep", help="sweep the offered load")
+    _add_common_arguments(loadsweep)
+    loadsweep.add_argument("--factors", type=float, nargs="+", default=[0.5, 1.0, 1.5, 2.0])
+    loadsweep.add_argument("--protocols", nargs="+", default=[PROTOCOL_MPTCP, PROTOCOL_MMPTCP],
+                           choices=ALL_PROTOCOLS)
+    loadsweep.set_defaults(handler=_cmd_loadsweep)
+
+    coexistence = subparsers.add_parser("coexistence",
+                                        help="run TCP, MPTCP and MMPTCP on a shared fabric")
+    _add_common_arguments(coexistence)
+    coexistence.add_argument("--protocols", nargs="+",
+                             default=["tcp", "mptcp", "mmptcp"], choices=ALL_PROTOCOLS)
+    coexistence.set_defaults(handler=_cmd_coexistence)
+
+    hotspot = subparsers.add_parser("hotspot", help="run the hotspot-skew comparison")
+    _add_common_arguments(hotspot)
+    hotspot.add_argument("--protocols", nargs="+", default=[PROTOCOL_MPTCP, PROTOCOL_MMPTCP],
+                         choices=ALL_PROTOCOLS)
+    hotspot.add_argument("--hotspot-fraction", type=float, default=0.125)
+    hotspot.add_argument("--load-fraction", type=float, default=0.5)
+    hotspot.set_defaults(handler=_cmd_hotspot)
+
+    incast = subparsers.add_parser("incast", help="run synchronised fan-in (incast) sweeps")
+    _add_common_arguments(incast)
+    incast.add_argument("--fan-ins", type=int, nargs="+", default=[8, 16, 32])
+    incast.add_argument("--protocols", nargs="+", default=["tcp", "mptcp", "mmptcp"],
+                        choices=ALL_PROTOCOLS)
+    incast.add_argument("--response-kb", type=int, default=70,
+                        help="size of each incast response in kB")
+    incast.add_argument("--topologies", nargs="+", default=["fattree"],
+                        choices=("fattree", "dualhomed", "vl2"))
+    incast.set_defaults(handler=_cmd_incast)
+
+    deadlines = subparsers.add_parser("deadlines", help="run the deadline-miss study")
+    _add_common_arguments(deadlines)
+    deadlines.add_argument("--slack", type=float, default=2.0,
+                           help="deadline slack factor over the ideal transfer time")
+    deadlines.add_argument("--protocols", nargs="+",
+                           default=["tcp", "dctcp", "d2tcp", "mptcp", "mmptcp"],
+                           choices=ALL_PROTOCOLS)
+    deadlines.set_defaults(handler=_cmd_deadlines)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point used by the ``repro-mmptcp`` console script."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via the console script
+    sys.exit(main())

@@ -1,0 +1,201 @@
+"""MMPTCP: the hybrid transport protocol the paper introduces.
+
+An :class:`MmptcpConnection` is an MPTCP connection whose life begins in the
+**packet-scatter phase**: one subflow, one congestion window, every data
+packet stamped with a random source port so ECMP sprays it across all
+available paths.  A :class:`~repro.core.phase_switching.SwitchingPolicy`
+watches the volume of data handed to the network and/or congestion signals;
+when it fires the connection **switches to the MPTCP phase**: it opens the
+configured number of standard MPTCP subflows (coupled by LIA), stops
+assigning new data to the scatter flow, and lets the scatter flow drain and
+deactivate once its window empties — mirroring Section 2 of the paper.
+
+Short flows are expected to finish before the switch ever happens, so they
+enjoy the large single window and the burst tolerance of spraying; long
+flows spend almost their whole life in MPTCP mode and lose nothing.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, List, Optional, Tuple
+
+from repro.core.packet_scatter import DEFAULT_SCATTER_PORT_RANGE, PacketScatterSubflow
+from repro.core.phase_switching import DataVolumeSwitching, SwitchingPolicy
+from repro.core.reordering import TopologyInformedPolicy
+from repro.net.host import Host
+from repro.sim.engine import Simulator
+from repro.sim.tracing import NULL_SINK, TraceSink
+from repro.transport.base import TcpConfig
+from repro.transport.mptcp import MptcpConnection, MptcpReceiver, MptcpSubflow
+from repro.transport.scheduler import SubflowScheduler
+from repro.transport.tcp import TcpSender
+
+#: Phase labels.
+PHASE_PACKET_SCATTER = "packet_scatter"
+PHASE_MPTCP = "mptcp"
+
+#: The receiver side of MMPTCP is a standard MPTCP receiver: it already
+#: reassembles per-subflow sequence spaces plus the connection-level data
+#: stream, and it acknowledges towards each subflow's canonical port, which is
+#: all the packet-scatter phase requires.
+MmptcpReceiver = MptcpReceiver
+
+
+class MmptcpConnection(MptcpConnection):
+    """Sender side of an MMPTCP connection (packet scatter, then MPTCP)."""
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        host: Host,
+        destination: int,
+        destination_port: int,
+        total_bytes: int,
+        num_subflows: int = 8,
+        flow_id: int = 0,
+        config: TcpConfig = TcpConfig(),
+        switching_policy: Optional[SwitchingPolicy] = None,
+        reordering_policy=None,
+        path_count_hint: Optional[int] = None,
+        scatter_port_range: Tuple[int, int] = DEFAULT_SCATTER_PORT_RANGE,
+        rng: Optional[random.Random] = None,
+        scheduler: Optional[SubflowScheduler] = None,
+        on_complete: Optional[Callable[["MptcpConnection"], None]] = None,
+        on_phase_switch: Optional[Callable[["MmptcpConnection"], None]] = None,
+        trace: TraceSink = NULL_SINK,
+    ) -> None:
+        super().__init__(
+            simulator,
+            host,
+            destination,
+            destination_port,
+            total_bytes,
+            num_subflows=num_subflows,
+            flow_id=flow_id,
+            config=config,
+            scheduler=scheduler,
+            on_complete=on_complete,
+            trace=trace,
+            create_subflows=False,
+        )
+        self.switching_policy = (
+            switching_policy if switching_policy is not None else DataVolumeSwitching()
+        )
+        self.on_phase_switch = on_phase_switch
+        self._rng = rng if rng is not None else random.Random(flow_id)
+        self._scatter_port_range = scatter_port_range
+
+        if reordering_policy is None:
+            # Default to the topology-informed threshold the paper proposes;
+            # callers that know the real path diversity pass it via
+            # ``path_count_hint`` (FatTree addressing makes this a local
+            # computation at the sender).
+            reordering_policy = TopologyInformedPolicy(
+                path_count=path_count_hint if path_count_hint is not None else 8
+            )
+        self.reordering_policy = reordering_policy
+
+        self.phase = PHASE_PACKET_SCATTER
+        self.switch_time: Optional[float] = None
+        self.switch_reason: Optional[str] = None
+        self.bytes_in_scatter_phase = 0
+        self.scatter_subflow = PacketScatterSubflow(
+            self,
+            subflow_id=0,
+            rng=self._rng,
+            port_range=scatter_port_range,
+            reordering_policy=reordering_policy,
+        )
+        self.subflows.append(self.scatter_subflow)
+
+    # ------------------------------------------------------------------
+    # Phase machinery
+    # ------------------------------------------------------------------
+
+    @property
+    def in_packet_scatter_phase(self) -> bool:
+        """True while the connection is still in its initial phase."""
+        return self.phase == PHASE_PACKET_SCATTER
+
+    def allocate_chunk(self, subflow: MptcpSubflow) -> Optional[Tuple[int, int]]:
+        """Serve data to subflows, excluding the scatter flow after the switch.
+
+        The paper is explicit: once the switch happens, *no more packets are
+        put in the initial PS flow*; it only drains (and retransmits) what it
+        already carries.
+        """
+        if self.phase == PHASE_MPTCP and subflow is self.scatter_subflow:
+            return None
+        return super().allocate_chunk(subflow)
+
+    def _on_data_allocated(self, subflow: MptcpSubflow, dsn: int, size: int) -> None:
+        if self.phase != PHASE_PACKET_SCATTER:
+            return
+        self.bytes_in_scatter_phase += size
+        if self.switching_policy.should_switch_on_data(self.bytes_in_scatter_phase):
+            self._switch_to_mptcp(reason="data_volume")
+
+    def _subflow_congestion_event(self, subflow: TcpSender, kind: str) -> None:
+        super()._subflow_congestion_event(subflow, kind)
+        if (
+            self.phase == PHASE_PACKET_SCATTER
+            and subflow is self.scatter_subflow
+            and self.switching_policy.should_switch_on_congestion(kind)
+        ):
+            self._switch_to_mptcp(reason=f"congestion:{kind}")
+
+    def _switch_to_mptcp(self, reason: str) -> None:
+        if self.phase == PHASE_MPTCP:
+            return
+        self.phase = PHASE_MPTCP
+        self.switch_time = self.simulator.now
+        self.switch_reason = reason
+        if self.trace.enabled:
+            self.trace.emit(
+                self.simulator.now,
+                "phase_switch",
+                flow_id=self.flow_id,
+                reason=reason,
+                bytes_in_scatter=self.bytes_in_scatter_phase,
+            )
+        # Open the MPTCP subflows only if there is still data for them to
+        # carry; a flow that is already fully allocated (e.g. a short flow
+        # whose last bytes triggered the volume threshold) gains nothing from
+        # extra handshakes.
+        if not self.all_data_allocated:
+            new_subflows = self._create_subflows(self.num_subflows, first_subflow_id=1)
+            for subflow in new_subflows:
+                subflow.start()
+        if self.on_phase_switch is not None:
+            self.on_phase_switch(self)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def mptcp_subflows(self) -> List[MptcpSubflow]:
+        """The subflows opened for the MPTCP phase (empty before the switch)."""
+        return [subflow for subflow in self.subflows if subflow is not self.scatter_subflow]
+
+    @property
+    def scatter_drained(self) -> bool:
+        """True when the scatter flow has nothing left in flight (deactivated)."""
+        return self.scatter_subflow.flight_size() == 0
+
+
+class PacketScatterConnection(MmptcpConnection):
+    """A pure packet-scatter transport (MMPTCP that never switches).
+
+    Not part of the paper's headline comparison but mentioned as prior work
+    ([6] explores packet scatter at the switches); useful as an ablation
+    baseline to separate the contribution of spraying from the contribution
+    of the phase switch.
+    """
+
+    def __init__(self, *args, **kwargs) -> None:
+        from repro.core.phase_switching import NeverSwitch
+
+        kwargs["switching_policy"] = NeverSwitch()
+        kwargs.setdefault("num_subflows", 1)
+        super().__init__(*args, **kwargs)

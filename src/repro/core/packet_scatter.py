@@ -1,0 +1,80 @@
+"""The packet-scatter (PS) subflow.
+
+During MMPTCP's first phase all data travels over a *single* TCP congestion
+window, but every data packet is stamped with a fresh random source port.
+Hash-based ECMP in the switches therefore sends consecutive packets down
+different equal-cost paths — the spraying is initiated entirely at the end
+host, with no switch modification, exactly as Section 2 of the paper
+describes.  Acknowledgements still flow to the sender's canonical port (the
+receiver learns it from the SYN), so the sender sees one coherent ACK
+stream.
+
+The benefits the paper claims follow directly:
+
+* a short flow keeps one *large* window, so a lost packet can almost always
+  be repaired by fast retransmit instead of a 200 ms timeout;
+* the flow's packets never pile onto a single congested core path, so bursts
+  are absorbed by many queues at once.
+
+The cost is reordering, handled by the policies in
+:mod:`repro.core.reordering`.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING, Optional, Tuple
+
+from repro.net.packet import Packet
+from repro.transport.cc.base import CongestionController, NewRenoController
+from repro.transport.mptcp import MptcpSubflow
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.transport.mptcp import MptcpConnection
+
+#: Source ports drawn for scattered packets.  The range only needs to be wide
+#: enough that the ECMP hash decorrelates consecutive packets.
+DEFAULT_SCATTER_PORT_RANGE: Tuple[int, int] = (32768, 65535)
+
+
+class PacketScatterSubflow(MptcpSubflow):
+    """Subflow 0 of an MMPTCP connection: single window, sprayed packets."""
+
+    def __init__(
+        self,
+        connection: "MptcpConnection",
+        subflow_id: int = 0,
+        rng: Optional[random.Random] = None,
+        port_range: Tuple[int, int] = DEFAULT_SCATTER_PORT_RANGE,
+        reordering_policy=None,
+        congestion_control: Optional[CongestionController] = None,
+    ) -> None:
+        low, high = port_range
+        if low > high or low < 1 or high > 65535:
+            raise ValueError(f"invalid scatter port range {port_range!r}")
+        self._rng = rng if rng is not None else random.Random(0)
+        self._port_range = port_range
+        self.scattered_packets = 0
+        super().__init__(
+            connection,
+            subflow_id,
+            congestion_control=(
+                congestion_control if congestion_control is not None else NewRenoController()
+            ),
+            reordering_policy=reordering_policy,
+        )
+
+    # ------------------------------------------------------------------
+
+    def _data_source_port(self) -> int:
+        """A fresh random source port for every data packet (the scatter)."""
+        low, high = self._port_range
+        return self._rng.randint(low, high)
+
+    def _decorate_data_packet(self, packet: Packet) -> None:
+        self.scattered_packets += 1
+
+    @property
+    def port_range(self) -> Tuple[int, int]:
+        """The ephemeral port range the scatter draws from."""
+        return self._port_range

@@ -1,0 +1,99 @@
+"""Experiment harness: configuration, runner, sweeps and figure builders."""
+
+from repro.experiments.coexistence import (
+    CoexistenceResult,
+    ProtocolShare,
+    build_mixed_protocol_workload,
+    coexistence_rows,
+    run_coexistence_experiment,
+)
+from repro.experiments.config import (
+    ExperimentConfig,
+    paper_scale,
+    reproduction_scale,
+)
+from repro.experiments.deadline_study import (
+    DeadlineOutcome,
+    deadline_rows,
+    run_deadline_study,
+)
+from repro.experiments.hotspot import (
+    HotspotOutcome,
+    hotspot_rows,
+    run_hotspot_comparison,
+)
+from repro.experiments.incast_study import (
+    IncastPoint,
+    compare_multihoming,
+    incast_rows,
+    run_incast_sweep,
+)
+from repro.experiments.loadsweep import (
+    LoadPoint,
+    load_sweep_rows,
+    points_by_protocol,
+    run_load_sweep,
+)
+from repro.experiments.figure1 import (
+    FIGURE1A_SUBFLOW_COUNTS,
+    Figure1aRow,
+    figure1a_series,
+    figure1b_scatter,
+    figure1c_scatter,
+    scatter_points,
+)
+from repro.experiments.runner import (
+    ExperimentResult,
+    build_topology,
+    build_workload,
+    create_flow,
+    run_experiment,
+)
+from repro.experiments.section3 import (
+    ProtocolStatistics,
+    Section3Comparison,
+    section3_statistics,
+)
+from repro.experiments.sweeps import SweepPoint, sweep, sweep_parameter
+
+__all__ = [
+    "ExperimentConfig",
+    "paper_scale",
+    "reproduction_scale",
+    "CoexistenceResult",
+    "ProtocolShare",
+    "build_mixed_protocol_workload",
+    "coexistence_rows",
+    "run_coexistence_experiment",
+    "DeadlineOutcome",
+    "deadline_rows",
+    "run_deadline_study",
+    "HotspotOutcome",
+    "hotspot_rows",
+    "run_hotspot_comparison",
+    "IncastPoint",
+    "compare_multihoming",
+    "incast_rows",
+    "run_incast_sweep",
+    "LoadPoint",
+    "load_sweep_rows",
+    "points_by_protocol",
+    "run_load_sweep",
+    "FIGURE1A_SUBFLOW_COUNTS",
+    "Figure1aRow",
+    "figure1a_series",
+    "figure1b_scatter",
+    "figure1c_scatter",
+    "scatter_points",
+    "ExperimentResult",
+    "build_topology",
+    "build_workload",
+    "create_flow",
+    "run_experiment",
+    "ProtocolStatistics",
+    "Section3Comparison",
+    "section3_statistics",
+    "SweepPoint",
+    "sweep",
+    "sweep_parameter",
+]

@@ -1,0 +1,148 @@
+"""Experiment configuration.
+
+A single :class:`ExperimentConfig` captures everything needed to reproduce a
+run: the fabric, the link/queue parameters, the workload, the transport
+protocol under test and its options, and the random seed.  Two presets are
+provided:
+
+* :func:`reproduction_scale` — the scaled-down FatTree used by the benchmark
+  suite (pure-Python packet simulation is orders of magnitude slower than the
+  authors' ns-3 setup, so the default keeps the paper's 4:1 over-subscription
+  and workload mix but shrinks the fabric and the flow count; see DESIGN.md).
+* :func:`paper_scale` — the full 512-server, 4:1 over-subscribed FatTree of
+  the paper, for when simulation time is no object.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.sim.units import (
+    gigabits_per_second,
+    kilobytes,
+    megabits_per_second,
+    megabytes,
+    microseconds,
+    milliseconds,
+)
+from repro.traffic.flowspec import PROTOCOL_MMPTCP, PROTOCOL_MPTCP, PROTOCOL_TCP
+
+TOPOLOGY_FATTREE = "fattree"
+TOPOLOGY_DUALHOMED = "dualhomed"
+TOPOLOGY_VL2 = "vl2"
+
+QUEUE_DROPTAIL = "droptail"
+QUEUE_ECN = "ecn"
+QUEUE_SHARED = "shared"
+
+SWITCHING_DATA_VOLUME = "data_volume"
+SWITCHING_CONGESTION = "congestion_event"
+SWITCHING_HYBRID = "hybrid"
+SWITCHING_NEVER = "never"
+
+REORDERING_STATIC = "static"
+REORDERING_TOPOLOGY = "topology_informed"
+REORDERING_ADAPTIVE = "adaptive"
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Full description of one simulation run."""
+
+    # Fabric ---------------------------------------------------------------
+    topology: str = TOPOLOGY_FATTREE
+    fattree_k: int = 4
+    hosts_per_edge: Optional[int] = 8  # k=4 with 8 hosts/edge -> 4:1 over-subscription
+    link_rate_bps: float = megabits_per_second(100)
+    link_delay_s: float = microseconds(20)
+    queue_kind: str = QUEUE_DROPTAIL
+    queue_capacity_packets: int = 100
+    ecn_threshold_packets: int = 20
+    shared_buffer_bytes: int = 512 * 1500
+
+    # Workload ---------------------------------------------------------------
+    long_flow_fraction: float = 1.0 / 3.0
+    short_flow_size_bytes: int = kilobytes(70)
+    long_flow_size_bytes: int = megabytes(20)
+    short_flow_rate_per_sender: float = 8.0
+    arrival_window_s: float = 0.3
+    max_short_flows: Optional[int] = None
+    drain_time_s: float = 1.5
+
+    # Transport ---------------------------------------------------------------
+    protocol: str = PROTOCOL_MPTCP
+    num_subflows: int = 8
+    mss_bytes: int = 1400
+    initial_cwnd_segments: int = 4
+    min_rto_s: float = milliseconds(200)
+    dupack_threshold: int = 3
+    switching_policy: str = SWITCHING_DATA_VOLUME
+    switching_threshold_bytes: int = 100 * 1400
+    reordering_policy: str = REORDERING_TOPOLOGY
+    adaptive_reordering_increment: int = 2
+
+    # Run control ---------------------------------------------------------------
+    seed: int = 1
+    max_events: Optional[int] = None
+    wallclock_limit_s: Optional[float] = None
+
+    # ------------------------------------------------------------------
+
+    def __post_init__(self) -> None:
+        if self.fattree_k < 2 or self.fattree_k % 2:
+            raise ValueError("fattree_k must be an even integer >= 2")
+        if self.arrival_window_s <= 0 or self.drain_time_s < 0:
+            raise ValueError("arrival_window_s must be > 0 and drain_time_s >= 0")
+        if self.num_subflows < 1:
+            raise ValueError("num_subflows must be at least 1")
+        if self.queue_kind not in (QUEUE_DROPTAIL, QUEUE_ECN, QUEUE_SHARED):
+            raise ValueError(f"unknown queue kind {self.queue_kind!r}")
+        if self.topology not in (TOPOLOGY_FATTREE, TOPOLOGY_DUALHOMED, TOPOLOGY_VL2):
+            raise ValueError(f"unknown topology {self.topology!r}")
+
+    @property
+    def horizon_s(self) -> float:
+        """Total simulated time: arrivals plus drain."""
+        return self.arrival_window_s + self.drain_time_s
+
+    def with_protocol(self, protocol: str, num_subflows: Optional[int] = None) -> "ExperimentConfig":
+        """A copy of this config running a different protocol (same workload/seed)."""
+        updates = {"protocol": protocol}
+        if num_subflows is not None:
+            updates["num_subflows"] = num_subflows
+        return replace(self, **updates)
+
+    def with_updates(self, **updates) -> "ExperimentConfig":
+        """A copy of this config with arbitrary field overrides."""
+        return replace(self, **updates)
+
+
+def reproduction_scale(**overrides) -> ExperimentConfig:
+    """The scaled-down configuration used by the benchmark suite.
+
+    Keeps the paper's structural parameters (4:1 over-subscribed FatTree,
+    one-third long-flow senders, 70 KB short flows, Poisson arrivals,
+    permutation matrix, 200 ms min RTO) while shrinking the fabric and the
+    number of flows so a pure-Python run completes in seconds to minutes.
+    """
+    return ExperimentConfig(**overrides)
+
+
+def paper_scale(**overrides) -> ExperimentConfig:
+    """The paper's full-size setup: 512 servers, 4:1 over-subscription, 1 Gbps links.
+
+    Expect runs at this scale to take hours in pure Python; the benchmark
+    suite never uses it by default.
+    """
+    defaults = dict(
+        fattree_k=8,
+        hosts_per_edge=16,
+        link_rate_bps=gigabits_per_second(1),
+        short_flow_rate_per_sender=20.0,
+        arrival_window_s=1.0,
+        long_flow_size_bytes=megabytes(200),
+        drain_time_s=3.0,
+    )
+    defaults.update(overrides)
+    return ExperimentConfig(**defaults)

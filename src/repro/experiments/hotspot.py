@@ -1,0 +1,135 @@
+"""Hotspot experiments.
+
+"Effect of hotspots" is another scenario on the paper's roadmap: a fraction
+of the receivers attracts a disproportionate share of the traffic, which
+concentrates load on a few edge links and — for single-path transports — on
+a few core paths.  This module runs the paper's short/long mix over a
+hotspot-skewed matrix for any set of protocols and reports the same
+statistics as the Figure 1 / Section 3 experiments, so the MPTCP-vs-MMPTCP
+comparison can be repeated under skew.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import ExperimentResult, build_topology, run_experiment
+from repro.metrics.stats import DistributionSummary
+from repro.sim.engine import Simulator
+from repro.sim.randomness import RandomStreams
+from repro.traffic.flowspec import PROTOCOL_MMPTCP, PROTOCOL_MPTCP
+from repro.traffic.workloads import (
+    ShortLongWorkloadParams,
+    Workload,
+    build_hotspot_workload,
+)
+
+
+@dataclass
+class HotspotOutcome:
+    """Statistics of one protocol's run over the hotspot workload."""
+
+    protocol: str
+    hotspot_fraction: float
+    load_fraction: float
+    fct_summary: DistributionSummary
+    rto_incidence: float
+    completion_rate: float
+    tail_over_200ms: float
+    edge_loss_rate: float
+    core_loss_rate: float
+    mean_long_throughput_mbps: float
+    result: ExperimentResult
+
+
+def build_hotspot_workload_for(
+    config: ExperimentConfig,
+    hotspot_fraction: float,
+    load_fraction: float,
+    protocol: str,
+) -> Workload:
+    """Materialise the hotspot workload for ``config`` under ``protocol``.
+
+    The random stream is derived only from the configuration seed, so every
+    protocol sees the same hotspots, the same senders and the same arrival
+    times — the comparison is paired exactly like the Figure 1 benchmarks.
+    """
+    simulator = Simulator()
+    streams = RandomStreams(config.seed)
+    topology = build_topology(config, simulator)
+    params = ShortLongWorkloadParams(
+        long_flow_fraction=config.long_flow_fraction,
+        short_flow_size_bytes=config.short_flow_size_bytes,
+        long_flow_size_bytes=config.long_flow_size_bytes,
+        short_flow_rate_per_sender=config.short_flow_rate_per_sender,
+        duration_s=config.arrival_window_s,
+        max_short_flows=config.max_short_flows,
+        protocol=protocol,
+        num_subflows=config.num_subflows,
+    )
+    return build_hotspot_workload(
+        [host.name for host in topology.hosts],
+        params,
+        streams.stream("hotspot-workload"),
+        hotspot_fraction=hotspot_fraction,
+        load_fraction=load_fraction,
+    )
+
+
+def run_hotspot_comparison(
+    base_config: ExperimentConfig,
+    protocols: Sequence[str] = (PROTOCOL_MPTCP, PROTOCOL_MMPTCP),
+    hotspot_fraction: float = 0.125,
+    load_fraction: float = 0.5,
+    num_subflows: int = 8,
+) -> Dict[str, HotspotOutcome]:
+    """Run each protocol over the same hotspot-skewed workload."""
+    if not protocols:
+        raise ValueError("need at least one protocol")
+    outcomes: Dict[str, HotspotOutcome] = {}
+    for protocol in protocols:
+        config = base_config.with_protocol(protocol, num_subflows)
+        workload = build_hotspot_workload_for(
+            config, hotspot_fraction, load_fraction, protocol
+        )
+        result = run_experiment(config, workload=workload)
+        metrics = result.metrics
+        outcomes[protocol] = HotspotOutcome(
+            protocol=protocol,
+            hotspot_fraction=hotspot_fraction,
+            load_fraction=load_fraction,
+            fct_summary=metrics.short_flow_fct_summary(),
+            rto_incidence=metrics.rto_incidence(),
+            completion_rate=metrics.short_flow_completion_rate(),
+            tail_over_200ms=metrics.tail_fraction(200.0),
+            edge_loss_rate=metrics.loss_rate("edge"),
+            core_loss_rate=metrics.loss_rate("core"),
+            mean_long_throughput_mbps=metrics.mean_long_flow_throughput_bps() / 1e6,
+            result=result,
+        )
+    return outcomes
+
+
+def hotspot_rows(outcomes: Dict[str, HotspotOutcome]) -> List[Dict[str, object]]:
+    """Flat per-protocol rows for table rendering / CSV export."""
+    rows: List[Dict[str, object]] = []
+    for protocol, outcome in outcomes.items():
+        rows.append(
+            {
+                "protocol": protocol,
+                "hotspot_fraction": outcome.hotspot_fraction,
+                "load_fraction": outcome.load_fraction,
+                "mean_fct_ms": outcome.fct_summary.mean,
+                "std_fct_ms": outcome.fct_summary.std,
+                "p99_fct_ms": outcome.fct_summary.p99,
+                "rto_incidence": outcome.rto_incidence,
+                "completion_rate": outcome.completion_rate,
+                "tail_over_200ms": outcome.tail_over_200ms,
+                "edge_loss_rate": outcome.edge_loss_rate,
+                "core_loss_rate": outcome.core_loss_rate,
+                "long_throughput_mbps": outcome.mean_long_throughput_mbps,
+            }
+        )
+    return rows

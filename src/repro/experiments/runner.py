@@ -1,0 +1,384 @@
+"""Experiment driver: configuration in, metrics out.
+
+The runner builds the topology, materialises the workload, instantiates one
+sender/receiver pair per flow for the configured protocol, runs the event
+loop for the configured horizon and finally joins transport counters,
+receiver state and switch counters into an :class:`ExperimentMetrics`.
+"""
+
+from __future__ import annotations
+
+import time as _wallclock
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from repro.core.mmptcp import MmptcpConnection, MmptcpReceiver, PacketScatterConnection
+from repro.core.phase_switching import (
+    CongestionEventSwitching,
+    DataVolumeSwitching,
+    HybridSwitching,
+    NeverSwitch,
+    SwitchingPolicy,
+)
+from repro.core.reordering import (
+    AdaptiveReorderingPolicy,
+    StaticReorderingPolicy,
+    TopologyInformedPolicy,
+)
+from repro.experiments.config import (
+    QUEUE_DROPTAIL,
+    QUEUE_ECN,
+    QUEUE_SHARED,
+    REORDERING_ADAPTIVE,
+    REORDERING_STATIC,
+    REORDERING_TOPOLOGY,
+    SWITCHING_CONGESTION,
+    SWITCHING_DATA_VOLUME,
+    SWITCHING_HYBRID,
+    SWITCHING_NEVER,
+    TOPOLOGY_DUALHOMED,
+    TOPOLOGY_FATTREE,
+    TOPOLOGY_VL2,
+    ExperimentConfig,
+)
+from repro.metrics.collector import ExperimentMetrics
+from repro.metrics.records import FlowRecord
+from repro.net.host import Host
+from repro.net.queues import DropTailQueue, EcnQueue, SharedBufferPool, SharedBufferQueue
+from repro.sim.engine import Simulator
+from repro.sim.randomness import RandomStreams
+from repro.topology.base import Topology
+from repro.topology.dualhomed import DualHomedFatTreeTopology
+from repro.topology.fattree import FatTreeParams, FatTreeTopology
+from repro.topology.vl2 import Vl2Params, Vl2Topology
+from repro.traffic.deadlines import deadline_of
+from repro.traffic.flowspec import (
+    PROTOCOL_D2TCP,
+    PROTOCOL_DCTCP,
+    PROTOCOL_MMPTCP,
+    PROTOCOL_MPTCP,
+    PROTOCOL_PACKET_SCATTER,
+    PROTOCOL_TCP,
+    FlowSpec,
+)
+from repro.traffic.workloads import ShortLongWorkloadParams, Workload, build_short_long_workload
+from repro.transport.base import TcpConfig
+from repro.transport.d2tcp import D2tcpReceiver, D2tcpSender
+from repro.transport.dctcp import DctcpReceiver, DctcpSender
+from repro.transport.mptcp import MptcpConnection, MptcpReceiver
+from repro.transport.receiver import TcpReceiver
+from repro.transport.tcp import TcpSender
+
+
+@dataclass
+class _FlowInstance:
+    """Bookkeeping linking a spec to its live endpoints."""
+
+    spec: FlowSpec
+    sender: object
+    receiver: object
+
+
+@dataclass
+class ExperimentResult:
+    """Metrics plus provenance for one run."""
+
+    config: ExperimentConfig
+    metrics: ExperimentMetrics
+    events_processed: int
+    wallclock_s: float
+    workload_size: int
+
+
+# ---------------------------------------------------------------------------
+# Topology and workload construction
+# ---------------------------------------------------------------------------
+
+
+def build_topology(config: ExperimentConfig, simulator: Simulator) -> Topology:
+    """Instantiate the fabric described by ``config``."""
+    queue_factory = _queue_factory(config)
+    if config.topology == TOPOLOGY_FATTREE:
+        params = FatTreeParams(
+            k=config.fattree_k,
+            hosts_per_edge=config.hosts_per_edge,
+            link_rate_bps=config.link_rate_bps,
+            link_delay_s=config.link_delay_s,
+        )
+        return FatTreeTopology(simulator, params, queue_factory=queue_factory)
+    if config.topology == TOPOLOGY_DUALHOMED:
+        params = FatTreeParams(
+            k=config.fattree_k,
+            hosts_per_edge=config.hosts_per_edge,
+            link_rate_bps=config.link_rate_bps,
+            link_delay_s=config.link_delay_s,
+        )
+        return DualHomedFatTreeTopology(simulator, params, queue_factory=queue_factory)
+    if config.topology == TOPOLOGY_VL2:
+        params = Vl2Params(
+            server_link_rate_bps=config.link_rate_bps,
+            fabric_link_rate_bps=config.link_rate_bps * 10,
+            link_delay_s=config.link_delay_s,
+        )
+        return Vl2Topology(simulator, params, queue_factory=queue_factory)
+    raise ValueError(f"unknown topology {config.topology!r}")
+
+
+def _queue_factory(config: ExperimentConfig) -> Callable:
+    if config.queue_kind == QUEUE_DROPTAIL:
+        return lambda: DropTailQueue(capacity_packets=config.queue_capacity_packets)
+    if config.queue_kind == QUEUE_ECN:
+        return lambda: EcnQueue(
+            capacity_packets=config.queue_capacity_packets,
+            marking_threshold=config.ecn_threshold_packets,
+        )
+    if config.queue_kind == QUEUE_SHARED:
+        # One pool per queue factory call would defeat the purpose; a pool is
+        # shared among the ports created for a single experiment run.
+        pool = SharedBufferPool(total_bytes=config.shared_buffer_bytes)
+        return lambda: SharedBufferQueue(pool, marking_threshold=None)
+    raise ValueError(f"unknown queue kind {config.queue_kind!r}")
+
+
+def build_workload(config: ExperimentConfig, topology: Topology, streams: RandomStreams) -> Workload:
+    """Materialise the short/long mixed workload for ``config``."""
+    params = ShortLongWorkloadParams(
+        long_flow_fraction=config.long_flow_fraction,
+        short_flow_size_bytes=config.short_flow_size_bytes,
+        long_flow_size_bytes=config.long_flow_size_bytes,
+        short_flow_rate_per_sender=config.short_flow_rate_per_sender,
+        duration_s=config.arrival_window_s,
+        max_short_flows=config.max_short_flows,
+        protocol=config.protocol,
+        num_subflows=config.num_subflows,
+    )
+    host_names = [host.name for host in topology.hosts]
+    return build_short_long_workload(host_names, params, streams.stream("workload"))
+
+
+# ---------------------------------------------------------------------------
+# Protocol factory
+# ---------------------------------------------------------------------------
+
+
+def _tcp_config(config: ExperimentConfig) -> TcpConfig:
+    return TcpConfig(
+        mss=config.mss_bytes,
+        initial_cwnd_segments=config.initial_cwnd_segments,
+        dupack_threshold=config.dupack_threshold,
+        min_rto=config.min_rto_s,
+        ecn_enabled=config.protocol in (PROTOCOL_DCTCP, PROTOCOL_D2TCP),
+    )
+
+
+def make_switching_policy(config: ExperimentConfig) -> SwitchingPolicy:
+    """Build the MMPTCP phase-switching policy named by ``config``."""
+    if config.switching_policy == SWITCHING_DATA_VOLUME:
+        return DataVolumeSwitching(threshold_bytes=config.switching_threshold_bytes)
+    if config.switching_policy == SWITCHING_CONGESTION:
+        return CongestionEventSwitching()
+    if config.switching_policy == SWITCHING_HYBRID:
+        return HybridSwitching(threshold_bytes=config.switching_threshold_bytes)
+    if config.switching_policy == SWITCHING_NEVER:
+        return NeverSwitch()
+    raise ValueError(f"unknown switching policy {config.switching_policy!r}")
+
+
+def make_reordering_policy(config: ExperimentConfig, path_count: int):
+    """Build the packet-scatter reordering policy named by ``config``."""
+    if config.reordering_policy == REORDERING_STATIC:
+        return StaticReorderingPolicy(threshold=config.dupack_threshold)
+    if config.reordering_policy == REORDERING_TOPOLOGY:
+        return TopologyInformedPolicy(path_count=path_count)
+    if config.reordering_policy == REORDERING_ADAPTIVE:
+        return AdaptiveReorderingPolicy(increment=config.adaptive_reordering_increment)
+    raise ValueError(f"unknown reordering policy {config.reordering_policy!r}")
+
+
+def _path_count_hint(topology: Topology, source: Host, destination: Host) -> int:
+    if hasattr(topology, "expected_path_count"):
+        return topology.expected_path_count(source, destination)
+    return max(1, topology.path_count(source, destination))
+
+
+def create_flow(
+    spec: FlowSpec,
+    config: ExperimentConfig,
+    topology: Topology,
+    simulator: Simulator,
+    streams: RandomStreams,
+) -> _FlowInstance:
+    """Instantiate the sender and receiver endpoints for one flow spec."""
+    source = topology.node(spec.source)
+    destination = topology.node(spec.destination)
+    if not isinstance(source, Host) or not isinstance(destination, Host):
+        raise ValueError("flow endpoints must be hosts")
+    tcp_config = _tcp_config(config)
+    port = destination.allocate_port()
+    protocol = spec.protocol
+
+    if protocol == PROTOCOL_TCP:
+        receiver = TcpReceiver(
+            simulator, destination, local_port=port, flow_id=spec.flow_id,
+            expected_bytes=spec.size_bytes,
+        )
+        sender = TcpSender(
+            simulator, source, destination.address, port, spec.size_bytes,
+            flow_id=spec.flow_id, config=tcp_config,
+        )
+        return _FlowInstance(spec, sender, receiver)
+
+    if protocol == PROTOCOL_DCTCP:
+        receiver = DctcpReceiver(
+            simulator, destination, local_port=port, flow_id=spec.flow_id,
+            expected_bytes=spec.size_bytes,
+        )
+        sender = DctcpSender(
+            simulator, source, destination.address, port, spec.size_bytes,
+            flow_id=spec.flow_id, config=tcp_config,
+        )
+        return _FlowInstance(spec, sender, receiver)
+
+    if protocol == PROTOCOL_D2TCP:
+        receiver = D2tcpReceiver(
+            simulator, destination, local_port=port, flow_id=spec.flow_id,
+            expected_bytes=spec.size_bytes,
+        )
+        sender = D2tcpSender(
+            simulator, source, destination.address, port, spec.size_bytes,
+            flow_id=spec.flow_id, config=tcp_config, deadline_s=deadline_of(spec),
+        )
+        return _FlowInstance(spec, sender, receiver)
+
+    if protocol == PROTOCOL_MPTCP:
+        receiver = MptcpReceiver(
+            simulator, destination, local_port=port, flow_id=spec.flow_id,
+            expected_bytes=spec.size_bytes,
+        )
+        sender = MptcpConnection(
+            simulator, source, destination.address, port, spec.size_bytes,
+            num_subflows=spec.num_subflows, flow_id=spec.flow_id, config=tcp_config,
+        )
+        return _FlowInstance(spec, sender, receiver)
+
+    if protocol in (PROTOCOL_MMPTCP, PROTOCOL_PACKET_SCATTER):
+        receiver = MmptcpReceiver(
+            simulator, destination, local_port=port, flow_id=spec.flow_id,
+            expected_bytes=spec.size_bytes,
+        )
+        path_count = _path_count_hint(topology, source, destination)
+        reordering = make_reordering_policy(config, path_count)
+        rng = streams.stream(f"scatter-{spec.flow_id}")
+        if protocol == PROTOCOL_PACKET_SCATTER:
+            sender = PacketScatterConnection(
+                simulator, source, destination.address, port, spec.size_bytes,
+                flow_id=spec.flow_id, config=tcp_config,
+                reordering_policy=reordering, rng=rng,
+            )
+        else:
+            sender = MmptcpConnection(
+                simulator, source, destination.address, port, spec.size_bytes,
+                num_subflows=spec.num_subflows, flow_id=spec.flow_id, config=tcp_config,
+                switching_policy=make_switching_policy(config),
+                reordering_policy=reordering, path_count_hint=path_count, rng=rng,
+            )
+        return _FlowInstance(spec, sender, receiver)
+
+    raise ValueError(f"unknown protocol {protocol!r}")
+
+
+# ---------------------------------------------------------------------------
+# Record extraction
+# ---------------------------------------------------------------------------
+
+
+def _record_for(instance: _FlowInstance) -> FlowRecord:
+    spec = instance.spec
+    sender = instance.sender
+    receiver = instance.receiver
+    record = FlowRecord(
+        flow_id=spec.flow_id,
+        protocol=spec.protocol,
+        size_bytes=spec.size_bytes,
+        is_long=spec.is_long,
+        start_time=spec.start_time,
+    )
+
+    if isinstance(receiver, (TcpReceiver, MptcpReceiver)):
+        record.receiver_completion_time = receiver.completion_time
+        record.bytes_received = receiver.bytes_received_in_order
+    if isinstance(receiver, MptcpReceiver):
+        record.reordering_events = receiver.reordering_events
+
+    if isinstance(sender, TcpSender):
+        stats = sender.stats
+        record.sender_completion_time = stats.completion_time
+    elif isinstance(sender, MptcpConnection):
+        stats = sender.aggregate_stats()
+        record.sender_completion_time = sender.completion_time
+    else:  # pragma: no cover - defensive
+        return record
+
+    record.rto_events = stats.rto_events
+    record.fast_retransmits = stats.fast_retransmits
+    record.retransmitted_packets = stats.retransmitted_packets
+    record.spurious_retransmits = stats.spurious_retransmits
+    record.data_packets_sent = stats.data_packets_sent
+    record.duplicate_acks = stats.duplicate_acks
+
+    if isinstance(sender, MmptcpConnection):
+        record.phase_at_completion = sender.phase
+        record.switch_time = sender.switch_time
+    return record
+
+
+# ---------------------------------------------------------------------------
+# Top-level entry point
+# ---------------------------------------------------------------------------
+
+
+def run_experiment(
+    config: ExperimentConfig,
+    workload: Optional[Workload] = None,
+    topology_builder: Optional[Callable[[ExperimentConfig, Simulator], Topology]] = None,
+) -> ExperimentResult:
+    """Run one simulation described by ``config`` and return its metrics.
+
+    Args:
+        config: the experiment description.
+        workload: pre-built workload (the runner builds the paper's short/long
+            mix when omitted).  Passing the same workload object to several
+            configs is how protocol comparisons stay paired.
+        topology_builder: override for exotic fabrics (defaults to
+            :func:`build_topology`).
+    """
+    wall_start = _wallclock.monotonic()
+    simulator = Simulator()
+    streams = RandomStreams(config.seed)
+    topology = (topology_builder or build_topology)(config, simulator)
+    if workload is None:
+        workload = build_workload(config, topology, streams)
+
+    instances: List[_FlowInstance] = []
+    for spec in workload.flows:
+        instance = create_flow(spec, config, topology, simulator, streams)
+        instances.append(instance)
+        simulator.schedule_at(spec.start_time, instance.sender.start)
+
+    simulator.run(
+        until=config.horizon_s,
+        max_events=config.max_events,
+        wallclock_limit=config.wallclock_limit_s,
+    )
+
+    metrics = ExperimentMetrics(duration_s=config.horizon_s)
+    metrics.flows = [_record_for(instance) for instance in instances]
+    metrics.network = topology.monitor().snapshot(config.horizon_s)
+
+    return ExperimentResult(
+        config=config,
+        metrics=metrics,
+        events_processed=simulator.events_processed,
+        wallclock_s=_wallclock.monotonic() - wall_start,
+        workload_size=len(workload.flows),
+    )

@@ -1,0 +1,47 @@
+"""Parameter-sweep helpers shared by the benchmark harnesses."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import ExperimentResult, run_experiment
+
+
+@dataclass
+class SweepPoint:
+    """One point of a parameter sweep: the overrides applied and the result."""
+
+    overrides: Dict[str, Any]
+    result: ExperimentResult
+
+    @property
+    def summary(self) -> Dict[str, float]:
+        """Headline metrics for this point."""
+        return self.result.metrics.summary_dict()
+
+
+def sweep(
+    base_config: ExperimentConfig,
+    overrides_list: Sequence[Dict[str, Any]],
+    progress: Optional[Callable[[int, Dict[str, Any]], None]] = None,
+) -> List[SweepPoint]:
+    """Run ``base_config`` once per override dictionary and collect the results."""
+    points: List[SweepPoint] = []
+    for index, overrides in enumerate(overrides_list):
+        if progress is not None:
+            progress(index, overrides)
+        config = base_config.with_updates(**overrides)
+        points.append(SweepPoint(overrides=dict(overrides), result=run_experiment(config)))
+    return points
+
+
+def sweep_parameter(
+    base_config: ExperimentConfig,
+    parameter: str,
+    values: Iterable[Any],
+    progress: Optional[Callable[[int, Dict[str, Any]], None]] = None,
+) -> List[SweepPoint]:
+    """Sweep a single configuration field over ``values``."""
+    return sweep(base_config, [{parameter: value} for value in values], progress=progress)

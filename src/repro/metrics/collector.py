@@ -1,0 +1,132 @@
+"""Experiment-level metrics aggregation.
+
+:class:`ExperimentMetrics` joins per-flow records with the network-level
+snapshot (per-layer loss rates, utilisation) and produces the quantities the
+paper reports: short-flow FCT mean/std, the per-flow scatter of completion
+times, RTO incidence, long-flow throughput and network utilisation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.metrics.records import FlowRecord
+from repro.metrics.stats import DistributionSummary, fraction_above, summarize
+from repro.net.monitor import NetworkSnapshot
+
+
+@dataclass
+class ExperimentMetrics:
+    """All measurements from one simulation run."""
+
+    flows: List[FlowRecord] = field(default_factory=list)
+    network: Optional[NetworkSnapshot] = None
+    duration_s: float = 0.0
+
+    # ------------------------------------------------------------------
+    # Flow views
+    # ------------------------------------------------------------------
+
+    @property
+    def short_flows(self) -> List[FlowRecord]:
+        """Records of the latency-sensitive flows."""
+        return [flow for flow in self.flows if not flow.is_long]
+
+    @property
+    def long_flows(self) -> List[FlowRecord]:
+        """Records of the background flows."""
+        return [flow for flow in self.flows if flow.is_long]
+
+    @property
+    def completed_short_flows(self) -> List[FlowRecord]:
+        """Short flows that finished within the experiment horizon."""
+        return [flow for flow in self.short_flows if flow.completed]
+
+    # ------------------------------------------------------------------
+    # Headline statistics (Section 3 of the paper)
+    # ------------------------------------------------------------------
+
+    def short_flow_fct_ms(self) -> List[float]:
+        """Completion times (milliseconds) of all completed short flows."""
+        return [
+            flow.completion_time_ms
+            for flow in self.completed_short_flows
+            if flow.completion_time_ms is not None
+        ]
+
+    def short_flow_fct_summary(self) -> DistributionSummary:
+        """Mean/std/percentiles of short-flow completion time in milliseconds."""
+        return summarize(self.short_flow_fct_ms())
+
+    def short_flow_completion_rate(self) -> float:
+        """Fraction of short flows that completed before the horizon."""
+        short = self.short_flows
+        if not short:
+            return 0.0
+        return len(self.completed_short_flows) / len(short)
+
+    def rto_incidence(self) -> float:
+        """Fraction of short flows that experienced at least one RTO."""
+        short = self.short_flows
+        if not short:
+            return 0.0
+        return sum(1 for flow in short if flow.experienced_rto) / len(short)
+
+    def tail_fraction(self, threshold_ms: float = 200.0) -> float:
+        """Fraction of completed short flows slower than ``threshold_ms``."""
+        return fraction_above(self.short_flow_fct_ms(), threshold_ms)
+
+    def long_flow_throughputs_bps(self) -> List[float]:
+        """Goodput of each long flow over the experiment horizon."""
+        return [flow.throughput_bps(self.duration_s) for flow in self.long_flows]
+
+    def mean_long_flow_throughput_bps(self) -> float:
+        """Average long-flow goodput in bits per second."""
+        throughputs = self.long_flow_throughputs_bps()
+        if not throughputs:
+            return 0.0
+        return sum(throughputs) / len(throughputs)
+
+    def loss_rate(self, layer: str) -> float:
+        """Packet loss rate at one switch layer (``core``/``aggregation``/``edge``)."""
+        if self.network is None:
+            return 0.0
+        return self.network.loss_rate(layer)
+
+    def core_utilisation(self) -> float:
+        """Average utilisation of core-switch links over the experiment."""
+        return self.network.core_utilisation if self.network is not None else 0.0
+
+    # ------------------------------------------------------------------
+    # Scatter series (Figure 1(b) / 1(c))
+    # ------------------------------------------------------------------
+
+    def completion_scatter(self) -> List[Dict[str, float]]:
+        """Per-flow points (flow id vs completion time in seconds) for the scatter plots."""
+        points = []
+        for flow in self.completed_short_flows:
+            completion = flow.completion_time
+            if completion is None:
+                continue
+            points.append({"flow_id": float(flow.flow_id), "completion_time_s": completion})
+        return points
+
+    def summary_dict(self) -> Dict[str, float]:
+        """A flat dictionary of the headline numbers (useful for reports/tests)."""
+        fct = self.short_flow_fct_summary()
+        return {
+            "short_flows": float(len(self.short_flows)),
+            "short_flows_completed": float(len(self.completed_short_flows)),
+            "short_fct_mean_ms": fct.mean,
+            "short_fct_std_ms": fct.std,
+            "short_fct_p99_ms": fct.p99,
+            "short_completion_rate": self.short_flow_completion_rate(),
+            "rto_incidence": self.rto_incidence(),
+            "tail_over_200ms": self.tail_fraction(200.0),
+            "long_flow_throughput_mbps": self.mean_long_flow_throughput_bps() / 1e6,
+            "core_loss_rate": self.loss_rate("core"),
+            "aggregation_loss_rate": self.loss_rate("aggregation"),
+            "edge_loss_rate": self.loss_rate("edge"),
+            "core_utilisation": self.core_utilisation(),
+        }

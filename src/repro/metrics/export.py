@@ -1,0 +1,175 @@
+"""Result export: CSV / JSON dumps and text CDF rendering.
+
+The benchmark harness prints its tables to the console; this module writes
+the same data to files so a reproduction run can be archived, diffed against
+a previous run, or post-processed with external plotting tools.  Everything
+uses only the standard library (``csv``/``json``) — no plotting dependency.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.metrics.collector import ExperimentMetrics
+from repro.metrics.records import FlowRecord
+from repro.metrics.stats import cdf_points
+
+PathLike = Union[str, Path]
+
+#: Column order used for per-flow CSV exports.
+FLOW_RECORD_FIELDS = (
+    "flow_id",
+    "protocol",
+    "size_bytes",
+    "is_long",
+    "start_time",
+    "receiver_completion_time",
+    "sender_completion_time",
+    "completion_time_ms",
+    "rto_events",
+    "fast_retransmits",
+    "retransmitted_packets",
+    "spurious_retransmits",
+    "data_packets_sent",
+    "duplicate_acks",
+    "reordering_events",
+    "bytes_received",
+    "phase_at_completion",
+    "switch_time",
+)
+
+
+def flow_record_row(record: FlowRecord) -> Dict[str, object]:
+    """One CSV row for a flow record (completion time pre-converted to ms)."""
+    return {
+        "flow_id": record.flow_id,
+        "protocol": record.protocol,
+        "size_bytes": record.size_bytes,
+        "is_long": record.is_long,
+        "start_time": record.start_time,
+        "receiver_completion_time": record.receiver_completion_time,
+        "sender_completion_time": record.sender_completion_time,
+        "completion_time_ms": record.completion_time_ms,
+        "rto_events": record.rto_events,
+        "fast_retransmits": record.fast_retransmits,
+        "retransmitted_packets": record.retransmitted_packets,
+        "spurious_retransmits": record.spurious_retransmits,
+        "data_packets_sent": record.data_packets_sent,
+        "duplicate_acks": record.duplicate_acks,
+        "reordering_events": record.reordering_events,
+        "bytes_received": record.bytes_received,
+        "phase_at_completion": record.phase_at_completion,
+        "switch_time": record.switch_time,
+    }
+
+
+def write_flow_records_csv(records: Iterable[FlowRecord], path: PathLike) -> Path:
+    """Write one CSV row per flow record and return the path written."""
+    destination = Path(path)
+    destination.parent.mkdir(parents=True, exist_ok=True)
+    with destination.open("w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=list(FLOW_RECORD_FIELDS))
+        writer.writeheader()
+        for record in records:
+            writer.writerow(flow_record_row(record))
+    return destination
+
+
+def write_summary_json(
+    metrics: ExperimentMetrics, path: PathLike, extra: Optional[Dict[str, object]] = None
+) -> Path:
+    """Write the headline summary (plus optional provenance) as JSON."""
+    destination = Path(path)
+    destination.parent.mkdir(parents=True, exist_ok=True)
+    payload: Dict[str, object] = dict(metrics.summary_dict())
+    if extra:
+        payload.update(extra)
+    destination.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return destination
+
+
+def write_series_csv(
+    rows: Sequence[Dict[str, object]], path: PathLike, fieldnames: Optional[Sequence[str]] = None
+) -> Path:
+    """Write an arbitrary list of homogeneous dictionaries as CSV."""
+    destination = Path(path)
+    destination.parent.mkdir(parents=True, exist_ok=True)
+    if not rows:
+        destination.write_text("")
+        return destination
+    names = list(fieldnames) if fieldnames is not None else list(rows[0].keys())
+    with destination.open("w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=names)
+        writer.writeheader()
+        for row in rows:
+            writer.writerow(row)
+    return destination
+
+
+def write_cdf_csv(values: Sequence[float], path: PathLike) -> Path:
+    """Write the empirical CDF of ``values`` as (value, fraction) rows."""
+    rows = [
+        {"value": value, "cumulative_fraction": fraction}
+        for value, fraction in cdf_points(values)
+    ]
+    return write_series_csv(rows, path, fieldnames=["value", "cumulative_fraction"])
+
+
+# ---------------------------------------------------------------------------
+# Text CDF rendering (a stand-in for the paper's scatter/CDF plots)
+# ---------------------------------------------------------------------------
+
+
+def ascii_cdf(
+    values: Sequence[float],
+    width: int = 60,
+    height: int = 12,
+    label: str = "value",
+) -> str:
+    """Render the empirical CDF of ``values`` as a small ASCII chart.
+
+    Useful for eyeballing the Figure 1(b)/(c) tails directly in a terminal
+    without any plotting stack.  Returns an empty string for empty input.
+    """
+    if width < 10 or height < 4:
+        raise ValueError("width must be >= 10 and height >= 4")
+    points = cdf_points(values)
+    if not points:
+        return ""
+    low = points[0][0]
+    high = points[-1][0]
+    span = max(high - low, 1e-12)
+    grid = [[" "] * width for _ in range(height)]
+    for value, fraction in points:
+        column = int((value - low) / span * (width - 1))
+        row = int((1.0 - fraction) * (height - 1))
+        grid[row][column] = "*"
+    lines = ["1.0 |" + "".join(grid[0])]
+    for row in range(1, height - 1):
+        lines.append("    |" + "".join(grid[row]))
+    lines.append("0.0 |" + "".join(grid[height - 1]))
+    lines.append("    +" + "-" * width)
+    lines.append(f"     {label}: {low:.3g} .. {high:.3g}")
+    return "\n".join(lines)
+
+
+def cdf_comparison_rows(
+    series: Dict[str, Sequence[float]], thresholds: Sequence[float]
+) -> List[Dict[str, object]]:
+    """For each named series, the fraction of samples at or below each threshold.
+
+    This is the tabular equivalent of overlaying several CDFs on one plot —
+    the form in which EXPERIMENTS.md records the Figure 1(b)/(c) comparison.
+    """
+    rows: List[Dict[str, object]] = []
+    for name, values in series.items():
+        row: Dict[str, object] = {"series": name, "samples": len(values)}
+        total = max(len(values), 1)
+        for threshold in thresholds:
+            below = sum(1 for value in values if value <= threshold)
+            row[f"<= {threshold:g}"] = below / total
+        rows.append(row)
+    return rows

@@ -1,0 +1,87 @@
+"""Per-flow measurement records."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.sim.units import throughput_bps
+
+
+@dataclass
+class FlowRecord:
+    """Everything measured about one flow by the end of an experiment.
+
+    Attributes:
+        flow_id / protocol / size_bytes / is_long: copied from the
+            :class:`~repro.traffic.flowspec.FlowSpec`.
+        start_time: when the sender opened the connection.
+        receiver_completion_time: when the receiver had assembled every byte
+            in order (this is the flow completion time the paper plots).
+        sender_completion_time: when the sender saw every byte acknowledged.
+        rto_events / fast_retransmits / retransmitted_packets /
+        spurious_retransmits / data_packets_sent / duplicate_acks: transport
+            counters summed over all subflows.
+        reordering_events: out-of-order arrivals observed by the receiver.
+        phase_at_completion: MMPTCP only — which phase the connection was in
+            when it completed.
+        switch_time: MMPTCP only — when the connection left the scatter phase.
+    """
+
+    flow_id: int
+    protocol: str
+    size_bytes: int
+    is_long: bool
+    start_time: float
+    receiver_completion_time: Optional[float] = None
+    sender_completion_time: Optional[float] = None
+    rto_events: int = 0
+    fast_retransmits: int = 0
+    retransmitted_packets: int = 0
+    spurious_retransmits: int = 0
+    data_packets_sent: int = 0
+    duplicate_acks: int = 0
+    reordering_events: int = 0
+    bytes_received: int = 0
+    phase_at_completion: Optional[str] = None
+    switch_time: Optional[float] = None
+
+    # ------------------------------------------------------------------
+
+    @property
+    def completed(self) -> bool:
+        """True if the receiver assembled the whole flow before the experiment ended."""
+        return self.receiver_completion_time is not None
+
+    @property
+    def completion_time(self) -> Optional[float]:
+        """Flow completion time in seconds (receiver-side), or ``None`` if unfinished."""
+        if self.receiver_completion_time is None:
+            return None
+        return self.receiver_completion_time - self.start_time
+
+    @property
+    def completion_time_ms(self) -> Optional[float]:
+        """Flow completion time in milliseconds, or ``None`` if unfinished."""
+        fct = self.completion_time
+        return fct * 1e3 if fct is not None else None
+
+    @property
+    def experienced_rto(self) -> bool:
+        """True if at least one retransmission timeout hit this flow."""
+        return self.rto_events > 0
+
+    def throughput_bps(self, horizon: Optional[float] = None) -> float:
+        """Achieved goodput in bits/s.
+
+        For completed flows this is size divided by completion time.  For
+        still-running (long) flows, pass the experiment ``horizon`` to compute
+        goodput over the observed interval using the bytes actually delivered.
+        """
+        if self.completed:
+            duration = self.completion_time or 0.0
+            return throughput_bps(self.size_bytes, duration)
+        if horizon is None:
+            return 0.0
+        duration = max(0.0, horizon - self.start_time)
+        return throughput_bps(self.bytes_received, duration)

@@ -1,0 +1,52 @@
+"""Plain-text report rendering.
+
+The benchmark harnesses print the same rows/series the paper's figures and
+prose contain; these helpers format them as aligned text tables so a run's
+output can be eyeballed (and diffed) without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+
+def render_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render an aligned, pipe-separated text table."""
+    materialised: List[List[str]] = [[str(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in materialised:
+        for index, cell in enumerate(row):
+            if index < len(widths):
+                widths[index] = max(widths[index], len(cell))
+    def format_row(cells: Sequence[str]) -> str:
+        padded = [cell.ljust(widths[index]) for index, cell in enumerate(cells)]
+        return "| " + " | ".join(padded) + " |"
+
+    separator = "|-" + "-|-".join("-" * width for width in widths) + "-|"
+    lines = [format_row(list(headers)), separator]
+    lines.extend(format_row(row) for row in materialised)
+    return "\n".join(lines)
+
+
+def format_milliseconds(value: float) -> str:
+    """Format a millisecond quantity with one decimal."""
+    return f"{value:.1f} ms"
+
+
+def format_rate(value: float) -> str:
+    """Format a ratio as a percentage with two decimals."""
+    return f"{100.0 * value:.2f}%"
+
+
+def format_throughput_mbps(value_bps: float) -> str:
+    """Format a bits-per-second value in Mbps."""
+    return f"{value_bps / 1e6:.1f} Mbps"
+
+
+def comparison_table(rows: Dict[str, Dict[str, float]], metrics: Sequence[str]) -> str:
+    """Render a protocols × metrics comparison (used by the Section 3 bench)."""
+    headers = ["protocol", *metrics]
+    body = []
+    for protocol, values in rows.items():
+        body.append([protocol, *[f"{values.get(metric, 0.0):.3f}" for metric in metrics]])
+    return render_table(headers, body)

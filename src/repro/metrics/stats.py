@@ -1,0 +1,85 @@
+"""Statistical summaries used by experiment reports.
+
+Thin wrappers over numpy with the conventions the paper uses: flow
+completion times are reported in milliseconds as mean plus standard
+deviation, and the scatter plots of Figure 1(b)/(c) are summarised here by
+percentiles and by the fraction of flows exceeding RTO-scale latencies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class DistributionSummary:
+    """Five-number-plus summary of a sample."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    p50: float
+    p90: float
+    p99: float
+    maximum: float
+
+    @staticmethod
+    def empty() -> "DistributionSummary":
+        """Summary of an empty sample (all statistics zero)."""
+        return DistributionSummary(0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+
+
+def summarize(values: Iterable[float]) -> DistributionSummary:
+    """Compute a :class:`DistributionSummary` of ``values``."""
+    data = np.asarray(list(values), dtype=float)
+    if data.size == 0:
+        return DistributionSummary.empty()
+    return DistributionSummary(
+        count=int(data.size),
+        mean=float(np.mean(data)),
+        std=float(np.std(data)),
+        minimum=float(np.min(data)),
+        p50=float(np.percentile(data, 50)),
+        p90=float(np.percentile(data, 90)),
+        p99=float(np.percentile(data, 99)),
+        maximum=float(np.max(data)),
+    )
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """The ``q``-th percentile of ``values`` (0 for an empty sample)."""
+    if not values:
+        return 0.0
+    return float(np.percentile(np.asarray(values, dtype=float), q))
+
+
+def cdf_points(values: Sequence[float]) -> List[Tuple[float, float]]:
+    """(value, cumulative fraction) pairs suitable for plotting a CDF."""
+    if not values:
+        return []
+    data = np.sort(np.asarray(values, dtype=float))
+    n = data.size
+    return [(float(value), (index + 1) / n) for index, value in enumerate(data)]
+
+
+def fraction_above(values: Sequence[float], threshold: float) -> float:
+    """Fraction of ``values`` strictly greater than ``threshold``."""
+    if not values:
+        return 0.0
+    data = np.asarray(values, dtype=float)
+    return float(np.count_nonzero(data > threshold) / data.size)
+
+
+def jains_fairness_index(values: Sequence[float]) -> float:
+    """Jain's fairness index of a set of throughputs (1.0 = perfectly fair)."""
+    data = np.asarray(list(values), dtype=float)
+    if data.size == 0:
+        return 0.0
+    denominator = data.size * float(np.sum(data**2))
+    if denominator == 0:
+        return 0.0
+    return float(np.sum(data)) ** 2 / denominator

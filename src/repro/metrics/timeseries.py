@@ -1,0 +1,169 @@
+"""Queue-occupancy time series.
+
+The paper's introduction blames short-flow deadline misses on "queue
+build-ups, buffer pressure and TCP Incast" in shared-memory switches.  The
+aggregate loss counters in :mod:`repro.net.monitor` show the end result;
+this module records the *trajectory*: a sampler that walks every switch
+queue at a fixed simulated-time interval and stores (time, switch, port,
+occupancy) samples, so experiments can show how packet scatter drains a
+burst across many shallow queues while a single-path transport piles it
+onto one deep one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.net.switch import Switch
+from repro.sim.engine import Simulator
+
+
+@dataclass(frozen=True)
+class QueueSample:
+    """Occupancy of one switch output queue at one instant."""
+
+    time_s: float
+    switch: str
+    layer: str
+    interface_index: int
+    queued_packets: int
+    queued_bytes: int
+
+
+@dataclass
+class OccupancySummary:
+    """Aggregate occupancy statistics for one switch layer."""
+
+    layer: str
+    samples: int = 0
+    peak_packets: int = 0
+    peak_bytes: int = 0
+    mean_packets: float = 0.0
+
+
+class QueueOccupancySampler:
+    """Periodically samples every output queue of the given switches.
+
+    Usage::
+
+        sampler = QueueOccupancySampler(simulator, topology.switches, interval_s=0.001)
+        sampler.start()
+        ... run the simulation ...
+        print(sampler.layer_summary("edge").peak_packets)
+
+    Sampling stops automatically when the simulator runs out of events (no
+    further samples are scheduled once :meth:`stop` has been called or the
+    optional ``until`` horizon has passed).
+    """
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        switches: Sequence[Switch],
+        interval_s: float = 1e-3,
+        until: Optional[float] = None,
+    ) -> None:
+        if interval_s <= 0:
+            raise ValueError("interval_s must be positive")
+        if until is not None and until < 0:
+            raise ValueError("until cannot be negative")
+        self.simulator = simulator
+        self.switches = list(switches)
+        self.interval_s = interval_s
+        self.until = until
+        self.samples: List[QueueSample] = []
+        self._running = False
+
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Take the first sample now and keep sampling every ``interval_s``."""
+        if self._running:
+            return
+        self._running = True
+        self._sample_and_reschedule()
+
+    def stop(self) -> None:
+        """Stop scheduling further samples (already-collected samples remain)."""
+        self._running = False
+
+    def _sample_and_reschedule(self) -> None:
+        if not self._running:
+            return
+        now = self.simulator.now
+        if self.until is not None and now > self.until:
+            self._running = False
+            return
+        self._take_sample(now)
+        self.simulator.schedule(self.interval_s, self._sample_and_reschedule)
+
+    def _take_sample(self, now: float) -> None:
+        for switch in self.switches:
+            for index, interface in enumerate(switch.interfaces):
+                queue = interface.queue
+                occupancy = len(queue)
+                if occupancy == 0:
+                    # Empty queues are the common case; skipping them keeps the
+                    # sample list proportional to congestion, not fabric size.
+                    continue
+                self.samples.append(
+                    QueueSample(
+                        time_s=now,
+                        switch=switch.name,
+                        layer=switch.layer,
+                        interface_index=index,
+                        queued_packets=occupancy,
+                        queued_bytes=queue.byte_length,
+                    )
+                )
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+
+    def samples_for_layer(self, layer: str) -> List[QueueSample]:
+        """All non-empty samples taken at switches of ``layer``."""
+        return [sample for sample in self.samples if sample.layer == layer]
+
+    def layer_summary(self, layer: str) -> OccupancySummary:
+        """Peak / mean occupancy across every queue of one layer."""
+        samples = self.samples_for_layer(layer)
+        summary = OccupancySummary(layer=layer, samples=len(samples))
+        if not samples:
+            return summary
+        summary.peak_packets = max(sample.queued_packets for sample in samples)
+        summary.peak_bytes = max(sample.queued_bytes for sample in samples)
+        summary.mean_packets = sum(sample.queued_packets for sample in samples) / len(samples)
+        return summary
+
+    def peak_series(self, layer: str) -> List[Tuple[float, int]]:
+        """(time, max occupancy over the layer's queues) for each sampling instant."""
+        per_instant: Dict[float, int] = {}
+        for sample in self.samples_for_layer(layer):
+            previous = per_instant.get(sample.time_s, 0)
+            per_instant[sample.time_s] = max(previous, sample.queued_packets)
+        return sorted(per_instant.items())
+
+    def busiest_queues(self, top: int = 5) -> List[Tuple[str, int, int]]:
+        """The ``top`` (switch, port, peak packets) triples, worst first."""
+        peaks: Dict[Tuple[str, int], int] = {}
+        for sample in self.samples:
+            key = (sample.switch, sample.interface_index)
+            peaks[key] = max(peaks.get(key, 0), sample.queued_packets)
+        ranked = sorted(peaks.items(), key=lambda item: item[1], reverse=True)
+        return [(switch, port, peak) for (switch, port), peak in ranked[:top]]
+
+    def to_rows(self) -> List[Dict[str, object]]:
+        """Flat per-sample rows for CSV export."""
+        return [
+            {
+                "time_s": sample.time_s,
+                "switch": sample.switch,
+                "layer": sample.layer,
+                "interface_index": sample.interface_index,
+                "queued_packets": sample.queued_packets,
+                "queued_bytes": sample.queued_bytes,
+            }
+            for sample in self.samples
+        ]

@@ -1,0 +1,48 @@
+"""Hash-based Equal-Cost Multi-Path (ECMP) selection.
+
+Data-centre switches pick one of several equal-cost next hops by hashing the
+packet's 5-tuple, so all packets of a TCP flow follow the same path (no
+reordering) while different flows spread across paths.  MMPTCP's packet
+scatter phase deliberately randomises the source port per packet so that this
+very mechanism sprays consecutive packets over *all* available paths.
+
+The hash must be deterministic across runs (for reproducibility) yet differ
+between switches (otherwise every switch would make correlated choices and
+entire subtrees would see the same path decisions).  We therefore mix a
+per-switch salt into an FNV-1a hash of the 5-tuple.
+"""
+
+from __future__ import annotations
+
+from repro.net.packet import Packet
+
+_FNV_OFFSET = 0xCBF29CE484222325
+_FNV_PRIME = 0x100000001B3
+_MASK = 0xFFFFFFFFFFFFFFFF
+
+
+def fnv1a_64(values: tuple[int, ...], salt: int = 0) -> int:
+    """64-bit FNV-1a hash over a tuple of non-negative integers."""
+    digest = (_FNV_OFFSET ^ (salt & _MASK)) & _MASK
+    for value in values:
+        # Hash the value four bytes at a time so that large ints contribute fully.
+        remaining = value & _MASK
+        for _ in range(8):
+            digest ^= remaining & 0xFF
+            digest = (digest * _FNV_PRIME) & _MASK
+            remaining >>= 8
+    return digest
+
+
+def ecmp_hash(packet: Packet, salt: int = 0) -> int:
+    """Hash a packet's 5-tuple, mixed with a per-switch salt."""
+    return fnv1a_64(packet.flow_tuple(), salt=salt)
+
+
+def select_path(packet: Packet, num_paths: int, salt: int = 0) -> int:
+    """Pick a next-hop index in ``[0, num_paths)`` for ``packet``."""
+    if num_paths <= 0:
+        raise ValueError("num_paths must be positive")
+    if num_paths == 1:
+        return 0
+    return ecmp_hash(packet, salt) % num_paths

@@ -1,0 +1,113 @@
+"""End hosts (servers).
+
+A host owns one or more interfaces (dual-homed topologies give it two), an
+integer address, and a demultiplexing table from local port numbers to
+transport endpoints.  Transport endpoints hand fully formed packets to
+:meth:`Host.send`, which selects an uplink (by ECMP hash when multi-homed)
+and pushes the packet into that interface's queue.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Protocol
+
+from repro.net.ecmp import select_path
+from repro.net.link import Interface
+from repro.net.node import Node
+from repro.net.packet import Packet
+from repro.sim.engine import Simulator
+from repro.sim.tracing import NULL_SINK, TraceSink
+
+
+class PacketHandler(Protocol):
+    """Anything that can accept packets demultiplexed to a local port."""
+
+    def on_packet(self, packet: Packet) -> None:
+        """Process an arriving packet."""
+
+
+class Host(Node):
+    """A server attached to the data-centre fabric."""
+
+    kind = "host"
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        name: str,
+        address: int,
+        trace: TraceSink = NULL_SINK,
+    ) -> None:
+        super().__init__(simulator, name, trace)
+        self.address = address
+        self._endpoints: Dict[int, PacketHandler] = {}
+        self._next_ephemeral_port = 49152
+        self.unroutable_packets = 0
+        self.undeliverable_packets = 0
+
+    # ------------------------------------------------------------------
+    # Endpoint management
+    # ------------------------------------------------------------------
+
+    def bind(self, port: int, endpoint: PacketHandler) -> None:
+        """Register ``endpoint`` to receive packets addressed to ``port``."""
+        if port in self._endpoints:
+            raise ValueError(f"port {port} already bound on {self.name}")
+        self._endpoints[port] = endpoint
+
+    def unbind(self, port: int) -> None:
+        """Remove the endpoint bound to ``port`` (missing ports are ignored)."""
+        self._endpoints.pop(port, None)
+
+    def allocate_port(self) -> int:
+        """Hand out the next unused ephemeral port on this host."""
+        while self._next_ephemeral_port in self._endpoints:
+            self._next_ephemeral_port += 1
+        port = self._next_ephemeral_port
+        self._next_ephemeral_port += 1
+        return port
+
+    def endpoint_for(self, port: int) -> Optional[PacketHandler]:
+        """The endpoint bound to ``port``, if any."""
+        return self._endpoints.get(port)
+
+    # ------------------------------------------------------------------
+    # Packet I/O
+    # ------------------------------------------------------------------
+
+    def send(self, packet: Packet) -> bool:
+        """Transmit ``packet`` out of one of this host's uplinks."""
+        if not self.interfaces:
+            raise RuntimeError(f"host {self.name} has no interfaces")
+        if len(self.interfaces) == 1:
+            interface = self.interfaces[0]
+        else:
+            # Multi-homed host: pick the uplink by flow hash, exactly as a
+            # host-side ECMP bonding driver would.
+            index = select_path(packet, len(self.interfaces), salt=self.address)
+            interface = self.interfaces[index]
+        return interface.send(packet)
+
+    def receive(self, packet: Packet, interface: Optional[Interface]) -> None:
+        """Deliver an arriving packet to the endpoint bound to its destination port."""
+        if packet.dst != self.address:
+            # Mis-delivered packet (should not happen with correct routing).
+            self.unroutable_packets += 1
+            if self.trace.enabled:
+                self.trace.emit(
+                    self.simulator.now, "misdelivered", node=self.name, flow_id=packet.flow_id
+                )
+            return
+        endpoint = self._endpoints.get(packet.dst_port)
+        if endpoint is None:
+            self.undeliverable_packets += 1
+            if self.trace.enabled:
+                self.trace.emit(
+                    self.simulator.now,
+                    "no_endpoint",
+                    node=self.name,
+                    port=packet.dst_port,
+                    flow_id=packet.flow_id,
+                )
+            return
+        endpoint.on_packet(packet)

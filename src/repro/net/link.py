@@ -1,0 +1,161 @@
+"""Links and network interfaces.
+
+The transmission model is the standard store-and-forward one used by ns-3's
+point-to-point devices:
+
+1. a node hands a packet to one of its :class:`Interface` objects;
+2. the packet is offered to the interface's output :class:`~repro.net.queues.Queue`
+   (it may be dropped there);
+3. when the interface is idle it dequeues the head packet and occupies the
+   link for its serialisation time (``size * 8 / rate``);
+4. after serialisation, the packet propagates for the link delay and is then
+   delivered to the node on the other end.
+
+A full-duplex cable between two nodes is simply a pair of interfaces, one on
+each node, wired to each other — :func:`connect` builds that pair.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Optional
+
+from repro.net.packet import Packet
+from repro.net.queues import DropTailQueue, Queue
+from repro.sim.engine import Simulator
+from repro.sim.units import transmission_delay
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.net.node import Node
+
+
+class Interface:
+    """A unidirectional transmitter attached to a node.
+
+    Attributes:
+        node: the owning node.
+        peer: the node reached through this interface.
+        rate_bps: link capacity in bits per second.
+        delay_s: one-way propagation delay in seconds.
+        queue: output queue discipline.
+        bytes_sent / packets_sent: transmission counters (payload + headers).
+        busy_time: cumulative seconds the transmitter has been serialising,
+            used to compute link utilisation.
+    """
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        node: "Node",
+        rate_bps: float,
+        delay_s: float,
+        queue: Optional[Queue] = None,
+        name: str = "",
+    ) -> None:
+        if rate_bps <= 0:
+            raise ValueError("link rate must be positive")
+        if delay_s < 0:
+            raise ValueError("link delay cannot be negative")
+        self.simulator = simulator
+        self.node = node
+        self.peer: Optional["Node"] = None
+        self.peer_interface: Optional["Interface"] = None
+        self.rate_bps = rate_bps
+        self.delay_s = delay_s
+        self.queue = queue if queue is not None else DropTailQueue()
+        self.name = name or f"{node.name}-if{len(node.interfaces)}"
+        self.bytes_sent = 0
+        self.packets_sent = 0
+        self.busy_time = 0.0
+        self._transmitting = False
+        self.drop_callback: Optional[Callable[[Packet, "Interface"], None]] = None
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+
+    def attach_peer(self, peer: "Node", peer_interface: "Interface") -> None:
+        """Point this interface at the node (and reverse interface) it reaches."""
+        self.peer = peer
+        self.peer_interface = peer_interface
+
+    # ------------------------------------------------------------------
+    # Transmission path
+    # ------------------------------------------------------------------
+
+    def send(self, packet: Packet) -> bool:
+        """Offer ``packet`` for transmission; returns False if the queue dropped it."""
+        if self.peer is None:
+            raise RuntimeError(f"interface {self.name} is not connected")
+        accepted = self.queue.enqueue(packet)
+        if not accepted:
+            if self.drop_callback is not None:
+                self.drop_callback(packet, self)
+            self.node.note_drop(packet, self)
+            return False
+        if not self._transmitting:
+            self._start_next_transmission()
+        return True
+
+    def _start_next_transmission(self) -> None:
+        packet = self.queue.dequeue()
+        if packet is None:
+            self._transmitting = False
+            return
+        self._transmitting = True
+        tx_delay = transmission_delay(packet.size, self.rate_bps)
+        self.busy_time += tx_delay
+        self.simulator.schedule(tx_delay, self._finish_transmission, packet)
+
+    def _finish_transmission(self, packet: Packet) -> None:
+        self.bytes_sent += packet.size
+        self.packets_sent += 1
+        # Propagation: the receiving node sees the packet one delay later.
+        self.simulator.schedule(self.delay_s, self._deliver, packet)
+        # The transmitter is free again as soon as serialisation ends.
+        self._start_next_transmission()
+
+    def _deliver(self, packet: Packet) -> None:
+        packet.hops += 1
+        assert self.peer is not None
+        self.peer.receive(packet, self.peer_interface)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def utilisation(self, duration_s: float) -> float:
+        """Fraction of ``duration_s`` this transmitter spent serialising packets."""
+        if duration_s <= 0:
+            return 0.0
+        return min(1.0, self.busy_time / duration_s)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        peer = self.peer.name if self.peer is not None else "unconnected"
+        return f"Interface({self.name} -> {peer}, {self.rate_bps/1e6:.0f} Mbps)"
+
+
+QueueFactory = Callable[[], Queue]
+
+
+def connect(
+    simulator: Simulator,
+    node_a: "Node",
+    node_b: "Node",
+    rate_bps: float,
+    delay_s: float,
+    queue_factory: Optional[QueueFactory] = None,
+) -> tuple[Interface, Interface]:
+    """Create a full-duplex link between ``node_a`` and ``node_b``.
+
+    Each direction gets its own queue from ``queue_factory`` (drop-tail with
+    default capacity when omitted).  Returns the pair of interfaces
+    ``(a_to_b, b_to_a)``.
+    """
+    make_queue: QueueFactory = queue_factory if queue_factory is not None else DropTailQueue
+    iface_ab = Interface(simulator, node_a, rate_bps, delay_s, make_queue())
+    iface_ba = Interface(simulator, node_b, rate_bps, delay_s, make_queue())
+    iface_ab.attach_peer(node_b, iface_ba)
+    iface_ba.attach_peer(node_a, iface_ab)
+    node_a.add_interface(iface_ab, node_b)
+    node_b.add_interface(iface_ba, node_a)
+    return iface_ab, iface_ba

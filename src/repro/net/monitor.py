@@ -1,0 +1,106 @@
+"""Network-wide observation helpers.
+
+The simulator's nodes, interfaces and queues all keep local counters as they
+run (drops, bytes forwarded, busy time).  :class:`NetworkMonitor` aggregates
+those counters into the network-level quantities the paper reports:
+
+* loss rate per switch layer (core / aggregation / edge),
+* overall network utilisation (busy fraction of core-facing links),
+* aggregate bytes carried.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence
+
+from repro.net.host import Host
+from repro.net.link import Interface
+from repro.net.switch import Switch
+
+
+@dataclass
+class LayerLossStats:
+    """Loss statistics aggregated over all switches of one layer."""
+
+    layer: str
+    offered_packets: int = 0
+    dropped_packets: int = 0
+    dropped_bytes: int = 0
+
+    @property
+    def loss_rate(self) -> float:
+        """Fraction of packets offered to this layer's output queues that were dropped."""
+        if self.offered_packets == 0:
+            return 0.0
+        return self.dropped_packets / self.offered_packets
+
+
+@dataclass
+class NetworkSnapshot:
+    """Aggregated network statistics over a measurement interval."""
+
+    duration_s: float
+    layer_loss: Dict[str, LayerLossStats] = field(default_factory=dict)
+    core_utilisation: float = 0.0
+    edge_utilisation: float = 0.0
+    total_bytes_carried: int = 0
+    total_packets_dropped: int = 0
+
+    def loss_rate(self, layer: str) -> float:
+        """Loss rate for one switch layer (0.0 if the layer is absent)."""
+        stats = self.layer_loss.get(layer)
+        return stats.loss_rate if stats is not None else 0.0
+
+
+class NetworkMonitor:
+    """Aggregates per-device counters into network-level statistics."""
+
+    def __init__(self, hosts: Sequence[Host], switches: Sequence[Switch]) -> None:
+        self.hosts = list(hosts)
+        self.switches = list(switches)
+
+    # ------------------------------------------------------------------
+
+    def _interfaces_of(self, switches: Iterable[Switch]) -> List[Interface]:
+        interfaces: List[Interface] = []
+        for switch in switches:
+            interfaces.extend(switch.interfaces)
+        return interfaces
+
+    def snapshot(self, duration_s: float) -> NetworkSnapshot:
+        """Build a :class:`NetworkSnapshot` covering ``duration_s`` of simulated time."""
+        snapshot = NetworkSnapshot(duration_s=duration_s)
+
+        for switch in self.switches:
+            stats = snapshot.layer_loss.setdefault(switch.layer, LayerLossStats(switch.layer))
+            for interface in switch.interfaces:
+                stats.offered_packets += interface.queue.stats.offered_packets
+                stats.dropped_packets += interface.queue.stats.dropped_packets
+                stats.dropped_bytes += interface.queue.stats.dropped_bytes
+                snapshot.total_bytes_carried += interface.bytes_sent
+                snapshot.total_packets_dropped += interface.queue.stats.dropped_packets
+
+        core_switches = [switch for switch in self.switches if switch.layer == "core"]
+        edge_switches = [switch for switch in self.switches if switch.layer == "edge"]
+        core_interfaces = self._interfaces_of(core_switches)
+        edge_interfaces = self._interfaces_of(edge_switches)
+        if core_interfaces and duration_s > 0:
+            snapshot.core_utilisation = sum(
+                interface.utilisation(duration_s) for interface in core_interfaces
+            ) / len(core_interfaces)
+        if edge_interfaces and duration_s > 0:
+            snapshot.edge_utilisation = sum(
+                interface.utilisation(duration_s) for interface in edge_interfaces
+            ) / len(edge_interfaces)
+
+        for host in self.hosts:
+            for interface in host.interfaces:
+                snapshot.total_bytes_carried += interface.bytes_sent
+                snapshot.total_packets_dropped += interface.queue.stats.dropped_packets
+
+        return snapshot
+
+    def host_drop_counts(self) -> Dict[str, int]:
+        """Packets dropped in each host's own uplink queue (e.g. during incast)."""
+        return {host.name: host.dropped_packets for host in self.hosts}

@@ -1,0 +1,77 @@
+"""Base node type shared by hosts and switches."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+from repro.net.packet import Packet
+from repro.sim.engine import Simulator
+from repro.sim.tracing import NULL_SINK, TraceSink
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.net.link import Interface
+
+
+class Node:
+    """A network element with a set of interfaces.
+
+    Attributes:
+        name: human-readable unique name (also the graph vertex id).
+        interfaces: interfaces in attachment order.
+        neighbor_to_interface: maps a neighbouring node's name to the local
+            interface that reaches it (used when installing routing tables).
+        dropped_packets / dropped_bytes: packets lost in this node's output
+            queues or for lack of a route.
+    """
+
+    kind = "node"
+
+    def __init__(self, simulator: Simulator, name: str, trace: TraceSink = NULL_SINK) -> None:
+        self.simulator = simulator
+        self.name = name
+        self.trace = trace
+        self.interfaces: List["Interface"] = []
+        self.neighbor_to_interface: Dict[str, int] = {}
+        self.dropped_packets = 0
+        self.dropped_bytes = 0
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+
+    def add_interface(self, interface: "Interface", peer: "Node") -> int:
+        """Register ``interface`` (reaching ``peer``) and return its index."""
+        index = len(self.interfaces)
+        self.interfaces.append(interface)
+        self.neighbor_to_interface[peer.name] = index
+        return index
+
+    def interface_to(self, peer_name: str) -> "Interface":
+        """Return the interface that reaches the named neighbour."""
+        return self.interfaces[self.neighbor_to_interface[peer_name]]
+
+    # ------------------------------------------------------------------
+    # Packet handling
+    # ------------------------------------------------------------------
+
+    def receive(self, packet: Packet, interface: Optional["Interface"]) -> None:
+        """Handle a packet arriving on ``interface`` (subclasses override)."""
+        raise NotImplementedError
+
+    def note_drop(self, packet: Packet, interface: "Interface") -> None:
+        """Record a packet lost in one of this node's output queues."""
+        self.dropped_packets += 1
+        self.dropped_bytes += packet.size
+        if self.trace.enabled:
+            self.trace.emit(
+                self.simulator.now,
+                "packet_drop",
+                node=self.name,
+                kind=self.kind,
+                interface=interface.name,
+                flow_id=packet.flow_id,
+                size=packet.size,
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self.name}, {len(self.interfaces)} ifaces)"

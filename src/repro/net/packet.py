@@ -1,0 +1,214 @@
+"""Packet model.
+
+A :class:`Packet` is a mutable record that travels through the simulated
+network.  It carries both the fields a real TCP/IP header would carry
+(addresses, ports, sequence/acknowledgement numbers, flags, ECN bits) and
+the MPTCP data-sequence-signal fields (``dsn`` / ``dack`` / ``subflow_id``)
+that MPTCP and MMPTCP need.
+
+Packets are deliberately simple Python objects with ``__slots__`` — millions
+of them are created per experiment, so attribute access speed and memory
+footprint matter.
+"""
+
+from __future__ import annotations
+
+from itertools import count
+from typing import Optional
+
+# TCP flag bit-mask values.
+FLAG_SYN = 0x01
+FLAG_ACK = 0x02
+FLAG_FIN = 0x04
+FLAG_DATA = 0x08
+
+#: Combined size of the simulated IP + TCP headers in bytes.  MPTCP options
+#: (DSS) would add ~20 bytes; we fold that into a single constant because the
+#: evaluation is insensitive to a few header bytes.
+DEFAULT_HEADER_BYTES = 54
+
+#: Protocol numbers used in the ECMP hash.
+PROTO_TCP = 6
+
+_packet_ids = count(1)
+
+
+class Packet:
+    """A single simulated packet.
+
+    Attributes:
+        packet_id: globally unique identifier (useful for tracing).
+        flow_id: identifier of the application flow this packet belongs to.
+        src / dst: integer node addresses.
+        src_port / dst_port: transport ports; MMPTCP's packet-scatter phase
+            randomises ``src_port`` per packet to diversify the ECMP hash.
+        protocol: IP protocol number (always TCP here, kept for hashing).
+        seq: subflow-level sequence number (byte offset of the first payload
+            byte carried by this packet).
+        ack: cumulative subflow-level acknowledgement number.
+        flags: bitwise OR of ``FLAG_*`` constants.
+        payload_size / header_size: sizes in bytes; ``size`` is their sum.
+        subflow_id: index of the MPTCP subflow (0 for single-path TCP and for
+            the MMPTCP packet-scatter flow).
+        dsn: connection-level data sequence number (byte offset).
+        dack: connection-level cumulative data acknowledgement.
+        ecn_capable / ecn_ce / ecn_echo: ECN negotiation and marking bits.
+        sent_time: simulated time at which the (sub)flow sender transmitted
+            this packet; used for RTT sampling.
+        is_retransmission: marks retransmitted data (Karn's algorithm).
+        hops: number of switch/host hops traversed so far.
+    """
+
+    __slots__ = (
+        "packet_id",
+        "flow_id",
+        "src",
+        "dst",
+        "src_port",
+        "dst_port",
+        "protocol",
+        "seq",
+        "ack",
+        "flags",
+        "payload_size",
+        "header_size",
+        "subflow_id",
+        "dsn",
+        "dack",
+        "ecn_capable",
+        "ecn_ce",
+        "ecn_echo",
+        "sent_time",
+        "is_retransmission",
+        "hops",
+    )
+
+    def __init__(
+        self,
+        *,
+        flow_id: int,
+        src: int,
+        dst: int,
+        src_port: int,
+        dst_port: int,
+        seq: int = 0,
+        ack: int = 0,
+        flags: int = 0,
+        payload_size: int = 0,
+        header_size: int = DEFAULT_HEADER_BYTES,
+        subflow_id: int = 0,
+        dsn: int = 0,
+        dack: int = 0,
+        ecn_capable: bool = False,
+        ecn_ce: bool = False,
+        ecn_echo: bool = False,
+        sent_time: float = 0.0,
+        is_retransmission: bool = False,
+        protocol: int = PROTO_TCP,
+    ) -> None:
+        self.packet_id = next(_packet_ids)
+        self.flow_id = flow_id
+        self.src = src
+        self.dst = dst
+        self.src_port = src_port
+        self.dst_port = dst_port
+        self.protocol = protocol
+        self.seq = seq
+        self.ack = ack
+        self.flags = flags
+        self.payload_size = payload_size
+        self.header_size = header_size
+        self.subflow_id = subflow_id
+        self.dsn = dsn
+        self.dack = dack
+        self.ecn_capable = ecn_capable
+        self.ecn_ce = ecn_ce
+        self.ecn_echo = ecn_echo
+        self.sent_time = sent_time
+        self.is_retransmission = is_retransmission
+        self.hops = 0
+
+    # ------------------------------------------------------------------
+    # Derived properties
+    # ------------------------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        """Total on-the-wire size in bytes (header + payload)."""
+        return self.header_size + self.payload_size
+
+    @property
+    def is_syn(self) -> bool:
+        """True if the SYN flag is set."""
+        return bool(self.flags & FLAG_SYN)
+
+    @property
+    def is_ack(self) -> bool:
+        """True if the ACK flag is set."""
+        return bool(self.flags & FLAG_ACK)
+
+    @property
+    def is_fin(self) -> bool:
+        """True if the FIN flag is set."""
+        return bool(self.flags & FLAG_FIN)
+
+    @property
+    def carries_data(self) -> bool:
+        """True if the packet carries application payload."""
+        return self.payload_size > 0
+
+    def flow_tuple(self) -> tuple[int, int, int, int, int]:
+        """The 5-tuple used by hash-based ECMP."""
+        return (self.src, self.dst, self.src_port, self.dst_port, self.protocol)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        flag_names = []
+        if self.is_syn:
+            flag_names.append("SYN")
+        if self.is_ack:
+            flag_names.append("ACK")
+        if self.is_fin:
+            flag_names.append("FIN")
+        if self.carries_data:
+            flag_names.append(f"DATA[{self.payload_size}]")
+        return (
+            f"Packet(id={self.packet_id}, flow={self.flow_id}, "
+            f"{self.src}:{self.src_port}->{self.dst}:{self.dst_port}, "
+            f"seq={self.seq}, ack={self.ack}, dsn={self.dsn}, "
+            f"sf={self.subflow_id}, {'|'.join(flag_names) or 'none'})"
+        )
+
+
+def make_ack(
+    original: Packet,
+    *,
+    ack: int,
+    dack: int = 0,
+    src_port: Optional[int] = None,
+    dst_port: Optional[int] = None,
+    ecn_echo: bool = False,
+    sent_time: float = 0.0,
+) -> Packet:
+    """Build an acknowledgement packet for ``original``.
+
+    The ACK is addressed back to the original sender; by default it swaps the
+    port pair so that it follows a stable reverse path under ECMP.  Callers
+    can override ``dst_port`` when the data packet used a randomised source
+    port (MMPTCP packet scatter) but acknowledgements must reach the sender's
+    canonical port.
+    """
+    return Packet(
+        flow_id=original.flow_id,
+        src=original.dst,
+        dst=original.src,
+        src_port=src_port if src_port is not None else original.dst_port,
+        dst_port=dst_port if dst_port is not None else original.src_port,
+        ack=ack,
+        dack=dack,
+        flags=FLAG_ACK,
+        payload_size=0,
+        subflow_id=original.subflow_id,
+        ecn_capable=original.ecn_capable,
+        ecn_echo=ecn_echo,
+        sent_time=sent_time,
+    )

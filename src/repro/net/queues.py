@@ -1,0 +1,248 @@
+"""Output queues for network interfaces.
+
+Three disciplines are provided:
+
+* :class:`DropTailQueue` — the classic bounded FIFO (per-port static buffer).
+* :class:`EcnQueue` — a drop-tail queue that additionally marks ECN-capable
+  packets with Congestion Experienced once the instantaneous occupancy
+  exceeds a threshold ``K`` (the DCTCP marking scheme).
+* :class:`SharedBufferQueue` + :class:`SharedBufferPool` — per-port queues
+  drawing from a switch-wide shared memory pool with a dynamic-threshold
+  admission policy, modelling the shared-memory commodity switches the
+  paper's introduction blames for buffer pressure during incast.
+
+All queues expose the same interface (:class:`Queue`), count their drops and
+accepted/transmitted bytes, and are intentionally agnostic of what is on the
+other end — the interface object drains them.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional
+
+from repro.net.packet import Packet
+
+
+class QueueStats:
+    """Mutable counters shared by all queue disciplines."""
+
+    __slots__ = (
+        "enqueued_packets",
+        "enqueued_bytes",
+        "dequeued_packets",
+        "dequeued_bytes",
+        "dropped_packets",
+        "dropped_bytes",
+        "ecn_marked_packets",
+    )
+
+    def __init__(self) -> None:
+        self.enqueued_packets = 0
+        self.enqueued_bytes = 0
+        self.dequeued_packets = 0
+        self.dequeued_bytes = 0
+        self.dropped_packets = 0
+        self.dropped_bytes = 0
+        self.ecn_marked_packets = 0
+
+    @property
+    def offered_packets(self) -> int:
+        """Packets offered to the queue (accepted + dropped)."""
+        return self.enqueued_packets + self.dropped_packets
+
+    @property
+    def drop_rate(self) -> float:
+        """Fraction of offered packets that were dropped."""
+        offered = self.offered_packets
+        return self.dropped_packets / offered if offered else 0.0
+
+
+class Queue:
+    """Abstract bounded packet queue."""
+
+    def __init__(self) -> None:
+        self._packets: Deque[Packet] = deque()
+        self._bytes = 0
+        self.stats = QueueStats()
+
+    # -- interface used by Interface objects -------------------------------
+
+    def enqueue(self, packet: Packet) -> bool:
+        """Offer ``packet``; return True if accepted, False if dropped."""
+        if not self._admit(packet):
+            self.stats.dropped_packets += 1
+            self.stats.dropped_bytes += packet.size
+            return False
+        self._mark(packet)
+        self._packets.append(packet)
+        self._bytes += packet.size
+        self._on_accepted(packet)
+        self.stats.enqueued_packets += 1
+        self.stats.enqueued_bytes += packet.size
+        return True
+
+    def dequeue(self) -> Optional[Packet]:
+        """Remove and return the head packet, or ``None`` if empty."""
+        if not self._packets:
+            return None
+        packet = self._packets.popleft()
+        self._bytes -= packet.size
+        self._on_released(packet)
+        self.stats.dequeued_packets += 1
+        self.stats.dequeued_bytes += packet.size
+        return packet
+
+    def __len__(self) -> int:
+        return len(self._packets)
+
+    @property
+    def byte_length(self) -> int:
+        """Bytes currently buffered."""
+        return self._bytes
+
+    @property
+    def is_empty(self) -> bool:
+        """True if no packets are buffered."""
+        return not self._packets
+
+    # -- hooks overridden by concrete disciplines ---------------------------
+
+    def _admit(self, packet: Packet) -> bool:
+        raise NotImplementedError
+
+    def _mark(self, packet: Packet) -> None:
+        """Optionally set ECN bits on an accepted packet (default: no-op)."""
+
+    def _on_accepted(self, packet: Packet) -> None:
+        """Hook called after a packet is stored (default: no-op)."""
+
+    def _on_released(self, packet: Packet) -> None:
+        """Hook called after a packet leaves the queue (default: no-op)."""
+
+
+class DropTailQueue(Queue):
+    """Bounded FIFO that drops arrivals once full.
+
+    The bound can be expressed in packets, bytes, or both (whichever limit is
+    hit first applies).
+    """
+
+    def __init__(
+        self,
+        capacity_packets: Optional[int] = 100,
+        capacity_bytes: Optional[int] = None,
+    ) -> None:
+        super().__init__()
+        if capacity_packets is None and capacity_bytes is None:
+            raise ValueError("a drop-tail queue needs at least one capacity bound")
+        if capacity_packets is not None and capacity_packets <= 0:
+            raise ValueError("capacity_packets must be positive")
+        if capacity_bytes is not None and capacity_bytes <= 0:
+            raise ValueError("capacity_bytes must be positive")
+        self.capacity_packets = capacity_packets
+        self.capacity_bytes = capacity_bytes
+
+    def _admit(self, packet: Packet) -> bool:
+        if self.capacity_packets is not None and len(self._packets) >= self.capacity_packets:
+            return False
+        if self.capacity_bytes is not None and self._bytes + packet.size > self.capacity_bytes:
+            return False
+        return True
+
+
+class EcnQueue(DropTailQueue):
+    """Drop-tail queue with DCTCP-style instantaneous ECN marking.
+
+    ECN-capable packets are marked with Congestion Experienced when the queue
+    occupancy (in packets) at arrival time is at or above ``marking_threshold``.
+    Non-ECN-capable packets are never marked; they simply occupy the buffer.
+    """
+
+    def __init__(
+        self,
+        capacity_packets: Optional[int] = 100,
+        capacity_bytes: Optional[int] = None,
+        marking_threshold: int = 20,
+    ) -> None:
+        super().__init__(capacity_packets=capacity_packets, capacity_bytes=capacity_bytes)
+        if marking_threshold < 0:
+            raise ValueError("marking_threshold must be non-negative")
+        self.marking_threshold = marking_threshold
+
+    def _mark(self, packet: Packet) -> None:
+        if packet.ecn_capable and len(self._packets) >= self.marking_threshold:
+            packet.ecn_ce = True
+            self.stats.ecn_marked_packets += 1
+
+
+class SharedBufferPool:
+    """A switch-wide shared memory pool with dynamic per-port thresholds.
+
+    Implements the classic dynamic-threshold policy: a port may buffer at most
+    ``alpha * free_bytes`` where ``free_bytes`` is the unused portion of the
+    shared pool.  Heavily loaded ports therefore squeeze the space available
+    to others — the "buffer pressure" effect the paper's introduction cites as
+    one reason short TCP flows miss deadlines.
+    """
+
+    def __init__(self, total_bytes: int, alpha: float = 1.0) -> None:
+        if total_bytes <= 0:
+            raise ValueError("total_bytes must be positive")
+        if alpha <= 0:
+            raise ValueError("alpha must be positive")
+        self.total_bytes = total_bytes
+        self.alpha = alpha
+        self.used_bytes = 0
+
+    @property
+    def free_bytes(self) -> int:
+        """Unreserved bytes remaining in the pool."""
+        return self.total_bytes - self.used_bytes
+
+    def port_threshold(self) -> float:
+        """Maximum occupancy currently allowed for any single port."""
+        return self.alpha * self.free_bytes
+
+    def try_reserve(self, occupancy_bytes: int, packet_size: int) -> bool:
+        """Reserve ``packet_size`` bytes for a port currently holding ``occupancy_bytes``."""
+        if self.used_bytes + packet_size > self.total_bytes:
+            return False
+        if occupancy_bytes + packet_size > self.port_threshold():
+            return False
+        self.used_bytes += packet_size
+        return True
+
+    def release(self, packet_size: int) -> None:
+        """Return ``packet_size`` bytes to the pool."""
+        self.used_bytes -= packet_size
+        if self.used_bytes < 0:
+            raise RuntimeError("shared buffer accounting went negative")
+
+
+class SharedBufferQueue(Queue):
+    """Per-port queue whose admission is governed by a :class:`SharedBufferPool`.
+
+    Optionally also applies DCTCP-style ECN marking at ``marking_threshold``
+    packets so that DCTCP can be evaluated on shared-memory switches too.
+    """
+
+    def __init__(self, pool: SharedBufferPool, marking_threshold: Optional[int] = None) -> None:
+        super().__init__()
+        self.pool = pool
+        self.marking_threshold = marking_threshold
+
+    def _admit(self, packet: Packet) -> bool:
+        return self.pool.try_reserve(self._bytes, packet.size)
+
+    def _mark(self, packet: Packet) -> None:
+        if (
+            self.marking_threshold is not None
+            and packet.ecn_capable
+            and len(self._packets) >= self.marking_threshold
+        ):
+            packet.ecn_ce = True
+            self.stats.ecn_marked_packets += 1
+
+    def _on_released(self, packet: Packet) -> None:
+        self.pool.release(packet.size)

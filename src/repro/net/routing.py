@@ -1,0 +1,107 @@
+"""Shortest-path multi-path route computation.
+
+Data-centre fabrics (FatTree, VL2, ...) are regular enough that every
+shortest path is an acceptable path, and ECMP load-balances across all of
+them.  We therefore compute, for every switch and every destination host,
+the set of neighbours that lie on *some* shortest path to that host, and
+install that set as the ECMP next-hop group.
+
+The computation is a breadth-first search rooted at each destination host —
+O(hosts × (V + E)) overall, which is negligible next to packet simulation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Sequence
+
+import networkx as nx
+
+from repro.net.host import Host
+from repro.net.switch import Switch
+
+
+def build_ecmp_routes(
+    graph: nx.Graph,
+    hosts: Sequence[Host],
+    switches: Sequence[Switch],
+) -> None:
+    """Populate the forwarding table of every switch in ``switches``.
+
+    Args:
+        graph: undirected connectivity graph whose vertices are node names.
+        hosts: destination hosts (routes are computed towards each of them).
+        switches: switches to programme.
+
+    Raises:
+        ValueError: if a destination host is unreachable from some switch —
+            that always indicates a mis-built topology.
+    """
+    for destination in hosts:
+        distances: Dict[str, int] = nx.single_source_shortest_path_length(
+            graph, destination.name
+        )
+        for switch in switches:
+            if switch.name not in distances:
+                raise ValueError(
+                    f"switch {switch.name} cannot reach host {destination.name}; "
+                    "the topology graph is disconnected"
+                )
+            own_distance = distances[switch.name]
+            next_hop_indices = [
+                switch.neighbor_to_interface[neighbor]
+                for neighbor in graph.neighbors(switch.name)
+                if distances.get(neighbor, own_distance) == own_distance - 1
+                and neighbor in switch.neighbor_to_interface
+            ]
+            if not next_hop_indices:
+                raise ValueError(
+                    f"no next hop from {switch.name} towards {destination.name}"
+                )
+            switch.install_route(destination.address, sorted(next_hop_indices))
+
+
+def count_equal_cost_paths(graph: nx.Graph, source: str, destination: str) -> int:
+    """Number of distinct shortest paths between two nodes.
+
+    MMPTCP's topology-informed reordering policy uses this to size the
+    duplicate-ACK threshold during the packet-scatter phase: the more
+    parallel paths packets may take, the more benign reordering is expected.
+    """
+    if source == destination:
+        return 1
+    forward = nx.single_source_shortest_path_length(graph, source)
+    if destination not in forward:
+        return 0
+    backward = nx.single_source_shortest_path_length(graph, destination)
+    total_distance = forward[destination]
+
+    # Count shortest paths by dynamic programming over the shortest-path DAG.
+    path_counts: Dict[str, int] = {source: 1}
+    # Process vertices in order of increasing distance from the source.
+    on_some_shortest_path = [
+        node
+        for node in forward
+        if node in backward and forward[node] + backward[node] == total_distance
+    ]
+    on_some_shortest_path.sort(key=lambda node: forward[node])
+    for node in on_some_shortest_path:
+        if node == source:
+            continue
+        count = 0
+        for neighbor in graph.neighbors(node):
+            if neighbor in path_counts and forward.get(neighbor, -1) == forward[node] - 1:
+                count += path_counts[neighbor]
+        path_counts[node] = count
+    return path_counts.get(destination, 0)
+
+
+def verify_all_pairs_routable(
+    graph: nx.Graph, hosts: Iterable[Host], switches: Sequence[Switch]
+) -> bool:
+    """Sanity check used by tests: every switch has a route to every host."""
+    host_addresses = [host.address for host in hosts]
+    for switch in switches:
+        for address in host_addresses:
+            if not switch.routes_to(address):
+                return False
+    return True

@@ -1,0 +1,87 @@
+"""Switches with hash-based ECMP forwarding.
+
+A switch holds a forwarding table mapping destination host addresses to the
+list of interface indices that lie on *some* shortest path towards that
+destination.  When several candidates exist the switch hashes the packet's
+5-tuple (salted per switch) to pick one — i.e. flow-level ECMP, exactly the
+mechanism MMPTCP's packet-scatter phase exploits by randomising source ports.
+
+Switches are tagged with the topology layer they belong to (``edge``,
+``aggregation`` or ``core``) so the metrics module can report per-layer loss
+rates as the paper does in Section 3.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.net.ecmp import select_path
+from repro.net.link import Interface
+from repro.net.node import Node
+from repro.net.packet import Packet
+from repro.sim.engine import Simulator
+from repro.sim.tracing import NULL_SINK, TraceSink
+
+LAYER_EDGE = "edge"
+LAYER_AGGREGATION = "aggregation"
+LAYER_CORE = "core"
+
+
+class Switch(Node):
+    """An output-queued switch with ECMP forwarding."""
+
+    kind = "switch"
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        name: str,
+        layer: str = LAYER_EDGE,
+        ecmp_salt: int = 0,
+        trace: TraceSink = NULL_SINK,
+    ) -> None:
+        super().__init__(simulator, name, trace)
+        self.layer = layer
+        self.ecmp_salt = ecmp_salt
+        # destination host address -> equal-cost output interface indices
+        self.forwarding_table: Dict[int, List[int]] = {}
+        self.forwarded_packets = 0
+        self.forwarded_bytes = 0
+        self.unroutable_packets = 0
+
+    # ------------------------------------------------------------------
+    # Table management
+    # ------------------------------------------------------------------
+
+    def install_route(self, destination: int, interface_indices: List[int]) -> None:
+        """Install the ECMP next-hop set for ``destination``."""
+        if not interface_indices:
+            raise ValueError(f"empty next-hop set for destination {destination} on {self.name}")
+        self.forwarding_table[destination] = list(interface_indices)
+
+    def routes_to(self, destination: int) -> List[int]:
+        """The installed next-hop interface indices for ``destination`` (may be empty)."""
+        return self.forwarding_table.get(destination, [])
+
+    # ------------------------------------------------------------------
+    # Forwarding
+    # ------------------------------------------------------------------
+
+    def receive(self, packet: Packet, interface: Optional[Interface]) -> None:
+        """Forward an arriving packet towards its destination."""
+        candidates = self.forwarding_table.get(packet.dst)
+        if not candidates:
+            self.unroutable_packets += 1
+            if self.trace.enabled:
+                self.trace.emit(
+                    self.simulator.now, "unroutable", node=self.name, dst=packet.dst
+                )
+            return
+        if len(candidates) == 1:
+            choice = candidates[0]
+        else:
+            choice = candidates[select_path(packet, len(candidates), salt=self.ecmp_salt)]
+        out_interface = self.interfaces[choice]
+        self.forwarded_packets += 1
+        self.forwarded_bytes += packet.size
+        out_interface.send(packet)

@@ -1,0 +1,24 @@
+"""Discrete-event simulation core: engine, units, randomness and tracing."""
+
+from repro.sim.engine import Event, SimulationError, Simulator
+from repro.sim.randomness import RandomStreams, derive_seed
+from repro.sim.tracing import (
+    NULL_SINK,
+    CallbackTraceSink,
+    RecordingTraceSink,
+    TraceEvent,
+    TraceSink,
+)
+
+__all__ = [
+    "Event",
+    "SimulationError",
+    "Simulator",
+    "RandomStreams",
+    "derive_seed",
+    "TraceSink",
+    "TraceEvent",
+    "RecordingTraceSink",
+    "CallbackTraceSink",
+    "NULL_SINK",
+]

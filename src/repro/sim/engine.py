@@ -1,0 +1,167 @@
+"""Discrete-event simulation engine.
+
+The engine is a classic event-heap design: callbacks are scheduled at
+absolute simulated times, and :meth:`Simulator.run` pops them in
+chronological order (ties broken by insertion order so behaviour is
+deterministic).  Everything else in the library — links, queues, transport
+timers, traffic generators — is built on these two operations:
+
+* ``simulator.schedule(delay, callback, *args)``
+* ``simulator.schedule_at(time, callback, *args)``
+
+Events can be cancelled (used heavily by retransmission timers) and the run
+can be bounded by simulated time, wall-clock time or event count.
+"""
+
+from __future__ import annotations
+
+import heapq
+import time as _wallclock
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+
+class SimulationError(RuntimeError):
+    """Raised for invalid scheduler usage (e.g. scheduling in the past)."""
+
+
+@dataclass(order=True, slots=True)
+class Event:
+    """A single scheduled callback.
+
+    Events sort by ``(time, sequence)`` which gives FIFO ordering among
+    events scheduled for the same instant.
+    """
+
+    time: float
+    sequence: int
+    callback: Callable[..., None] = field(compare=False)
+    args: tuple = field(compare=False, default=())
+    cancelled: bool = field(compare=False, default=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the engine skips it when it is popped."""
+        self.cancelled = True
+
+
+class Simulator:
+    """A deterministic discrete-event simulator.
+
+    Attributes:
+        now: current simulated time in seconds.
+    """
+
+    def __init__(self) -> None:
+        self._queue: list[Event] = []
+        self._now: float = 0.0
+        self._sequence: int = 0
+        self._running: bool = False
+        self._stopped: bool = False
+        self.events_processed: int = 0
+
+    # ------------------------------------------------------------------
+    # Clock
+    # ------------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+
+    def schedule(self, delay: float, callback: Callable[..., None], *args: Any) -> Event:
+        """Schedule ``callback(*args)`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule with negative delay {delay!r}")
+        return self.schedule_at(self._now + delay, callback, *args)
+
+    def schedule_at(self, when: float, callback: Callable[..., None], *args: Any) -> Event:
+        """Schedule ``callback(*args)`` to run at absolute simulated time ``when``."""
+        if when < self._now:
+            raise SimulationError(
+                f"cannot schedule event in the past: now={self._now!r}, requested={when!r}"
+            )
+        event = Event(time=when, sequence=self._sequence, callback=callback, args=args)
+        self._sequence += 1
+        heapq.heappush(self._queue, event)
+        return event
+
+    def cancel(self, event: Optional[Event]) -> None:
+        """Cancel a previously scheduled event (``None`` is tolerated)."""
+        if event is not None:
+            event.cancel()
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+        wallclock_limit: Optional[float] = None,
+    ) -> None:
+        """Run the event loop.
+
+        Args:
+            until: stop once simulated time would exceed this value.  Events
+                scheduled exactly at ``until`` are executed.
+            max_events: stop after this many events have been processed.
+            wallclock_limit: stop after this many real seconds have elapsed
+                (checked every 4096 events); useful as a safety net in
+                benchmarks.
+        """
+        self._running = True
+        self._stopped = False
+        processed_this_run = 0
+        wall_start = _wallclock.monotonic() if wallclock_limit is not None else 0.0
+
+        while self._queue and not self._stopped:
+            event = self._queue[0]
+            if until is not None and event.time > until:
+                # Advance the clock to the horizon so repeated run() calls
+                # with increasing horizons behave intuitively.
+                self._now = until
+                break
+            heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            event.callback(*event.args)
+            self.events_processed += 1
+            processed_this_run += 1
+            if max_events is not None and processed_this_run >= max_events:
+                break
+            if wallclock_limit is not None and processed_this_run % 4096 == 0:
+                if _wallclock.monotonic() - wall_start > wallclock_limit:
+                    break
+
+        if not self._queue and until is not None and self._now < until:
+            self._now = until
+        self._running = False
+
+    def stop(self) -> None:
+        """Request the currently running event loop to stop after the current event."""
+        self._stopped = True
+
+    def pending_events(self) -> int:
+        """Number of not-yet-cancelled events still waiting in the queue."""
+        return sum(1 for event in self._queue if not event.cancelled)
+
+    def peek_next_time(self) -> Optional[float]:
+        """Simulated time of the next live event, or ``None`` if the queue is empty."""
+        for event in sorted(self._queue):
+            if not event.cancelled:
+                return event.time
+        return None
+
+    def reset(self) -> None:
+        """Discard all pending events and rewind the clock to zero."""
+        self._queue.clear()
+        self._now = 0.0
+        self._sequence = 0
+        self.events_processed = 0
+        self._stopped = False

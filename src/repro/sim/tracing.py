@@ -1,0 +1,78 @@
+"""Lightweight tracing / instrumentation hooks.
+
+Components publish named trace events (packet enqueued, packet dropped,
+RTO fired, phase switched, ...) to a :class:`TraceSink`.  The default sink
+discards everything at near-zero cost; tests and the metrics collector
+install recording sinks to observe internal behaviour without the
+components needing to know who is listening.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Any, Callable, DefaultDict, Dict, List
+
+
+@dataclass
+class TraceEvent:
+    """A single trace record."""
+
+    time: float
+    name: str
+    data: Dict[str, Any] = field(default_factory=dict)
+
+
+class TraceSink:
+    """Base sink: ignores every event.  Subclass or use callbacks to observe."""
+
+    enabled: bool = False
+
+    def emit(self, time: float, name: str, **data: Any) -> None:
+        """Record a trace event; the base implementation is a no-op."""
+
+
+class RecordingTraceSink(TraceSink):
+    """A sink that stores every event in memory, grouped by name."""
+
+    def __init__(self) -> None:
+        self.enabled = True
+        self.events: List[TraceEvent] = []
+        self.by_name: DefaultDict[str, List[TraceEvent]] = defaultdict(list)
+
+    def emit(self, time: float, name: str, **data: Any) -> None:
+        event = TraceEvent(time=time, name=name, data=data)
+        self.events.append(event)
+        self.by_name[name].append(event)
+
+    def count(self, name: str) -> int:
+        """Number of events recorded under ``name``."""
+        return len(self.by_name[name])
+
+    def clear(self) -> None:
+        """Forget all recorded events."""
+        self.events.clear()
+        self.by_name.clear()
+
+
+class CallbackTraceSink(TraceSink):
+    """A sink that forwards events matching registered names to callbacks."""
+
+    def __init__(self) -> None:
+        self.enabled = True
+        self._callbacks: DefaultDict[str, List[Callable[[TraceEvent], None]]] = defaultdict(list)
+
+    def on(self, name: str, callback: Callable[[TraceEvent], None]) -> None:
+        """Register ``callback`` to be invoked for events named ``name``."""
+        self._callbacks[name].append(callback)
+
+    def emit(self, time: float, name: str, **data: Any) -> None:
+        callbacks = self._callbacks.get(name)
+        if not callbacks:
+            return
+        event = TraceEvent(time=time, name=name, data=data)
+        for callback in callbacks:
+            callback(event)
+
+
+NULL_SINK = TraceSink()

@@ -1,0 +1,31 @@
+"""Data-centre and synthetic topologies."""
+
+from repro.topology.base import (
+    DEFAULT_LINK_DELAY_S,
+    DEFAULT_LINK_RATE_BPS,
+    Topology,
+)
+from repro.topology.dualhomed import DualHomedFatTreeTopology
+from repro.topology.fattree import FatTreeParams, FatTreeTopology
+from repro.topology.simple import (
+    DumbbellTopology,
+    IncastTopology,
+    TwoHostTopology,
+    TwoPathTopology,
+)
+from repro.topology.vl2 import Vl2Params, Vl2Topology
+
+__all__ = [
+    "DEFAULT_LINK_DELAY_S",
+    "DEFAULT_LINK_RATE_BPS",
+    "Topology",
+    "DualHomedFatTreeTopology",
+    "FatTreeParams",
+    "FatTreeTopology",
+    "DumbbellTopology",
+    "IncastTopology",
+    "TwoHostTopology",
+    "TwoPathTopology",
+    "Vl2Params",
+    "Vl2Topology",
+]

@@ -1,0 +1,122 @@
+"""Topology construction framework.
+
+A :class:`Topology` owns the simulator's node objects (hosts and switches),
+the connectivity graph used for route computation, and convenience lookups.
+Concrete topologies (FatTree, VL2, ...) subclass it and populate the fabric
+in their constructor, then call :meth:`build_routes` once wiring is complete.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import networkx as nx
+
+from repro.net.host import Host
+from repro.net.link import Interface, QueueFactory, connect
+from repro.net.monitor import NetworkMonitor
+from repro.net.node import Node
+from repro.net.routing import build_ecmp_routes, count_equal_cost_paths
+from repro.net.switch import Switch
+from repro.sim.engine import Simulator
+from repro.sim.tracing import NULL_SINK, TraceSink
+from repro.sim.units import gigabits_per_second, microseconds
+
+
+class Topology:
+    """Base class for all network fabrics."""
+
+    def __init__(self, simulator: Simulator, trace: TraceSink = NULL_SINK) -> None:
+        self.simulator = simulator
+        self.trace = trace
+        self.graph = nx.Graph()
+        self.hosts: list[Host] = []
+        self.switches: list[Switch] = []
+        self._nodes_by_name: Dict[str, Node] = {}
+        self._hosts_by_address: Dict[int, Host] = {}
+        self._routes_built = False
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+
+    def add_host(self, name: str, address: int) -> Host:
+        """Create a host, register it in the graph and return it."""
+        if name in self._nodes_by_name:
+            raise ValueError(f"duplicate node name {name!r}")
+        if address in self._hosts_by_address:
+            raise ValueError(f"duplicate host address {address!r}")
+        host = Host(self.simulator, name, address, trace=self.trace)
+        self.hosts.append(host)
+        self._nodes_by_name[name] = host
+        self._hosts_by_address[address] = host
+        self.graph.add_node(name, kind="host")
+        return host
+
+    def add_switch(self, name: str, layer: str) -> Switch:
+        """Create a switch (ECMP salt derived from its creation order) and return it."""
+        if name in self._nodes_by_name:
+            raise ValueError(f"duplicate node name {name!r}")
+        switch = Switch(
+            self.simulator, name, layer=layer, ecmp_salt=len(self.switches) + 1, trace=self.trace
+        )
+        self.switches.append(switch)
+        self._nodes_by_name[name] = switch
+        self.graph.add_node(name, kind="switch", layer=layer)
+        return switch
+
+    def connect_nodes(
+        self,
+        node_a: Node,
+        node_b: Node,
+        rate_bps: float,
+        delay_s: float,
+        queue_factory: Optional[QueueFactory] = None,
+    ) -> tuple[Interface, Interface]:
+        """Wire a full-duplex link between two already-registered nodes."""
+        interfaces = connect(self.simulator, node_a, node_b, rate_bps, delay_s, queue_factory)
+        self.graph.add_edge(node_a.name, node_b.name)
+        return interfaces
+
+    def build_routes(self) -> None:
+        """Compute and install ECMP forwarding tables on every switch."""
+        build_ecmp_routes(self.graph, self.hosts, self.switches)
+        self._routes_built = True
+
+    # ------------------------------------------------------------------
+    # Lookups
+    # ------------------------------------------------------------------
+
+    def node(self, name: str) -> Node:
+        """Node object registered under ``name``."""
+        return self._nodes_by_name[name]
+
+    def host_by_address(self, address: int) -> Host:
+        """Host object owning ``address``."""
+        return self._hosts_by_address[address]
+
+    def path_count(self, host_a: Host, host_b: Host) -> int:
+        """Number of equal-cost shortest paths between two hosts."""
+        return count_equal_cost_paths(self.graph, host_a.name, host_b.name)
+
+    def monitor(self) -> NetworkMonitor:
+        """A :class:`NetworkMonitor` covering every device in this topology."""
+        return NetworkMonitor(self.hosts, self.switches)
+
+    @property
+    def routes_built(self) -> bool:
+        """True once :meth:`build_routes` has run."""
+        return self._routes_built
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"{type(self).__name__}({len(self.hosts)} hosts, "
+            f"{len(self.switches)} switches, {self.graph.number_of_edges()} links)"
+        )
+
+
+#: Default link parameters shared by the data-centre topologies.  They mirror
+#: the canonical values used by the DCTCP / MPTCP data-centre evaluations the
+#: paper builds on: 1 Gbps edge links and tens of microseconds per hop.
+DEFAULT_LINK_RATE_BPS = gigabits_per_second(1)
+DEFAULT_LINK_DELAY_S = microseconds(20)

@@ -1,0 +1,131 @@
+"""Deadline assignment for latency-sensitive flows.
+
+The paper's short flows "commonly come with strict deadlines regarding
+their completion time"; deadline-aware baselines (D2TCP, D3) consume that
+information directly, and the metrics layer reports deadline miss rates for
+every protocol so the benchmark harness can show how many flows would have
+violated their SLA under each transport.
+
+Deadlines are expressed *relative to the flow's start time*.  Two assignment
+schemes are provided:
+
+* :func:`slack_deadlines` — deadline = ideal transfer time × slack factor,
+  the scheme used by the D3/D2TCP evaluations (a flow gets proportionally
+  more time the bigger it is);
+* :func:`uniform_deadlines` — deadlines drawn uniformly from an interval,
+  which models externally imposed SLAs that ignore flow size.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.sim.units import transmission_delay
+from repro.traffic.flowspec import FlowSpec
+
+#: Key under which the assigned deadline is stored in ``FlowSpec.options``.
+DEADLINE_OPTION = "deadline_s"
+
+
+@dataclass(frozen=True)
+class DeadlineParams:
+    """Parameters of the slack-based deadline assignment.
+
+    Attributes:
+        slack_factor: multiple of the ideal (store-and-forward, empty-network)
+            transfer time granted to each flow.  The D3 paper evaluates slacks
+            between roughly 1.25 and 4; 2.0 is a common middle ground.
+        link_rate_bps: access-link rate used to compute the ideal time.
+        base_rtt_s: propagation round-trip added to the ideal time.
+        minimum_s: lower clamp so tiny flows do not receive impossible
+            sub-RTT deadlines.
+        long_flows_have_deadlines: whether background flows also get deadlines
+            (the paper's long flows are throughput-oriented, so default False).
+    """
+
+    slack_factor: float = 2.0
+    link_rate_bps: float = 1e9
+    base_rtt_s: float = 200e-6
+    minimum_s: float = 2e-3
+    long_flows_have_deadlines: bool = False
+
+    def __post_init__(self) -> None:
+        if self.slack_factor <= 0:
+            raise ValueError("slack_factor must be positive")
+        if self.link_rate_bps <= 0:
+            raise ValueError("link_rate_bps must be positive")
+        if self.base_rtt_s < 0 or self.minimum_s < 0:
+            raise ValueError("base_rtt_s and minimum_s cannot be negative")
+
+
+def ideal_transfer_time(size_bytes: int, link_rate_bps: float, base_rtt_s: float = 0.0) -> float:
+    """Time to move ``size_bytes`` over an empty path of ``link_rate_bps``."""
+    if size_bytes < 0:
+        raise ValueError("size_bytes cannot be negative")
+    return transmission_delay(size_bytes, link_rate_bps) + base_rtt_s
+
+
+def slack_deadlines(flows: Iterable[FlowSpec], params: DeadlineParams) -> List[FlowSpec]:
+    """Attach a slack-based deadline to each flow spec (in place) and return them.
+
+    The deadline is stored under ``options["deadline_s"]`` so that protocols
+    which ignore deadlines need no changes at all.
+    """
+    annotated: List[FlowSpec] = []
+    for flow in flows:
+        annotated.append(flow)
+        if flow.is_long and not params.long_flows_have_deadlines:
+            continue
+        ideal = ideal_transfer_time(flow.size_bytes, params.link_rate_bps, params.base_rtt_s)
+        flow.options[DEADLINE_OPTION] = max(params.minimum_s, ideal * params.slack_factor)
+    return annotated
+
+
+def uniform_deadlines(
+    flows: Iterable[FlowSpec],
+    rng: random.Random,
+    low_s: float,
+    high_s: float,
+    include_long_flows: bool = False,
+) -> List[FlowSpec]:
+    """Attach deadlines drawn uniformly from ``[low_s, high_s]`` to each flow."""
+    if low_s <= 0 or high_s < low_s:
+        raise ValueError("require 0 < low_s <= high_s")
+    annotated: List[FlowSpec] = []
+    for flow in flows:
+        annotated.append(flow)
+        if flow.is_long and not include_long_flows:
+            continue
+        flow.options[DEADLINE_OPTION] = rng.uniform(low_s, high_s)
+    return annotated
+
+
+def deadline_of(flow: FlowSpec) -> Optional[float]:
+    """The relative deadline assigned to ``flow``, or ``None``."""
+    value = flow.options.get(DEADLINE_OPTION)
+    return float(value) if value is not None else None
+
+
+def deadline_miss_rate(
+    specs: Sequence[FlowSpec],
+    completion_times: Dict[int, Optional[float]],
+) -> float:
+    """Fraction of deadline-carrying flows that finished late (or not at all).
+
+    Args:
+        specs: the flow specifications (deadlines read from their options).
+        completion_times: flow id → completion time in seconds relative to the
+            flow's start (``None`` for flows that never completed).
+    """
+    with_deadline = [spec for spec in specs if deadline_of(spec) is not None]
+    if not with_deadline:
+        return 0.0
+    missed = 0
+    for spec in with_deadline:
+        deadline = deadline_of(spec)
+        fct = completion_times.get(spec.flow_id)
+        if fct is None or (deadline is not None and fct > deadline):
+            missed += 1
+    return missed / len(with_deadline)

@@ -1,0 +1,19 @@
+"""Congestion-control policies: NewReno, DCTCP, and MPTCP's LIA."""
+
+from repro.transport.cc.base import (
+    LOSS_FAST_RETRANSMIT,
+    LOSS_TIMEOUT,
+    CongestionController,
+    NewRenoController,
+)
+from repro.transport.cc.dctcp_alpha import DctcpController
+from repro.transport.cc.lia import LiaController
+
+__all__ = [
+    "LOSS_FAST_RETRANSMIT",
+    "LOSS_TIMEOUT",
+    "CongestionController",
+    "NewRenoController",
+    "DctcpController",
+    "LiaController",
+]

@@ -1,0 +1,66 @@
+"""MPTCP Linked Increases Algorithm (LIA, RFC 6356).
+
+Each MPTCP subflow keeps its own congestion window and reacts to its own
+losses, but window *growth* is coupled across subflows so that a multi-path
+connection is no more aggressive than a single TCP flow on its best path.
+The per-ACK increase on subflow *i* is::
+
+    min( alpha * acked * mss / cwnd_total ,  acked * mss / cwnd_i )
+
+with::
+
+    alpha = cwnd_total * max_i(cwnd_i / rtt_i^2) / ( sum_i(cwnd_i / rtt_i) )^2
+
+Slow start remains uncoupled, as in the RFC.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.transport.cc.base import NewRenoController
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.transport.mptcp import MptcpConnection
+    from repro.transport.tcp import TcpSender
+
+
+class LiaController(NewRenoController):
+    """Coupled congestion avoidance for one MPTCP subflow."""
+
+    name = "lia"
+
+    def __init__(self, connection: "MptcpConnection") -> None:
+        self.connection = connection
+
+    def _coupled_alpha(self) -> float:
+        subflows = [
+            subflow
+            for subflow in self.connection.active_subflows()
+            if subflow.cwnd > 0
+        ]
+        if not subflows:
+            return 1.0
+        total_cwnd = sum(subflow.cwnd for subflow in subflows)
+        best = max(
+            subflow.cwnd / (subflow.rto_estimator.smoothed_rtt**2) for subflow in subflows
+        )
+        denominator = sum(
+            subflow.cwnd / subflow.rto_estimator.smoothed_rtt for subflow in subflows
+        )
+        if denominator <= 0:
+            return 1.0
+        return total_cwnd * best / (denominator**2)
+
+    def on_ack(self, sender: "TcpSender", newly_acked_bytes: int) -> None:
+        if sender.cwnd < sender.ssthresh:
+            sender.cwnd += min(newly_acked_bytes, sender.mss)
+            return
+        total_cwnd = sum(
+            subflow.cwnd for subflow in self.connection.active_subflows()
+        ) or sender.cwnd
+        alpha = self._coupled_alpha()
+        acked = min(newly_acked_bytes, sender.mss)
+        coupled_increase = alpha * acked * sender.mss / total_cwnd
+        uncoupled_increase = acked * sender.mss / max(sender.cwnd, 1.0)
+        sender.cwnd += min(coupled_increase, uncoupled_increase)

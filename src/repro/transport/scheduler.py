@@ -1,0 +1,55 @@
+"""MPTCP data schedulers.
+
+The MPTCP connection keeps a single connection-level byte stream and hands
+chunks of it to subflows.  Allocation is *demand driven*: a subflow asks for
+data whenever its congestion window has room.  When several subflows could
+send simultaneously (e.g. right after the handshake completes, or after an
+application write), the scheduler decides the order in which they are
+nudged, which determines who gets the scarce early bytes of a short flow.
+
+Two classic policies are provided: round-robin and lowest-smoothed-RTT-first
+(the default of the Linux MPTCP implementation).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.transport.mptcp import MptcpSubflow
+
+
+class SubflowScheduler:
+    """Base class: chooses the order in which subflows are offered send opportunities."""
+
+    name = "base"
+
+    def order(self, subflows: Sequence["MptcpSubflow"]) -> List["MptcpSubflow"]:
+        """Return the subflows in the order they should be asked to send."""
+        raise NotImplementedError
+
+
+class RoundRobinScheduler(SubflowScheduler):
+    """Rotate through subflows so allocation is spread evenly."""
+
+    name = "round_robin"
+
+    def __init__(self) -> None:
+        self._next_index = 0
+
+    def order(self, subflows: Sequence["MptcpSubflow"]) -> List["MptcpSubflow"]:
+        if not subflows:
+            return []
+        start = self._next_index % len(subflows)
+        self._next_index = (self._next_index + 1) % len(subflows)
+        rotated = list(subflows[start:]) + list(subflows[:start])
+        return rotated
+
+
+class LowestRttScheduler(SubflowScheduler):
+    """Prefer the subflow with the smallest smoothed RTT (Linux default)."""
+
+    name = "lowest_rtt"
+
+    def order(self, subflows: Sequence["MptcpSubflow"]) -> List["MptcpSubflow"]:
+        return sorted(subflows, key=lambda subflow: subflow.rto_estimator.smoothed_rtt)

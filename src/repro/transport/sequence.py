@@ -1,0 +1,112 @@
+"""Byte-sequence bookkeeping shared by receivers.
+
+:class:`ReceiveBuffer` tracks the in-order frontier (``rcv_nxt``) of a byte
+stream plus any out-of-order byte ranges already received, exactly what a
+TCP receive buffer does minus the actual payload bytes (the simulator never
+materialises data).  MPTCP receivers keep one buffer per subflow (subflow
+sequence space) and one for the connection-level data sequence space.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+
+class ReceiveBuffer:
+    """Tracks which byte ranges of a stream have been received."""
+
+    def __init__(self) -> None:
+        self.rcv_nxt = 0
+        #: sorted, disjoint, non-adjacent out-of-order ranges [start, end)
+        self._segments: List[Tuple[int, int]] = []
+        self.duplicate_bytes = 0
+        self.out_of_order_arrivals = 0
+        self.total_bytes_received = 0
+
+    # ------------------------------------------------------------------
+
+    def add(self, start: int, length: int) -> int:
+        """Record the arrival of bytes ``[start, start+length)``.
+
+        Returns the number of bytes by which the in-order frontier advanced
+        (zero for out-of-order or duplicate data).
+        """
+        if length <= 0:
+            return 0
+        end = start + length
+        self.total_bytes_received += length
+        if end <= self.rcv_nxt:
+            self.duplicate_bytes += length
+            return 0
+
+        previous_frontier = self.rcv_nxt
+        if start > self.rcv_nxt:
+            self.out_of_order_arrivals += 1
+            self._insert_segment(start, end)
+            return 0
+
+        # Overlaps the frontier: advance it, then absorb any stored segments
+        # that have become contiguous.
+        if start < self.rcv_nxt:
+            self.duplicate_bytes += self.rcv_nxt - start
+        self.rcv_nxt = max(self.rcv_nxt, end)
+        self._absorb_contiguous()
+        return self.rcv_nxt - previous_frontier
+
+    def _insert_segment(self, start: int, end: int) -> None:
+        merged: List[Tuple[int, int]] = []
+        placed = False
+        for seg_start, seg_end in self._segments:
+            if seg_end < start - 0 and not (seg_end >= start):
+                merged.append((seg_start, seg_end))
+            elif seg_start > end:
+                if not placed:
+                    merged.append((start, end))
+                    placed = True
+                merged.append((seg_start, seg_end))
+            else:
+                # Overlapping or adjacent: merge into the candidate range.
+                overlap = min(seg_end, end) - max(seg_start, start)
+                if overlap > 0:
+                    self.duplicate_bytes += overlap
+                start = min(start, seg_start)
+                end = max(end, seg_end)
+        if not placed:
+            merged.append((start, end))
+        merged.sort()
+        self._segments = merged
+
+    def _absorb_contiguous(self) -> None:
+        while self._segments and self._segments[0][0] <= self.rcv_nxt:
+            seg_start, seg_end = self._segments.pop(0)
+            if seg_end > self.rcv_nxt:
+                self.rcv_nxt = seg_end
+            else:
+                self.duplicate_bytes += seg_end - seg_start
+
+    # ------------------------------------------------------------------
+
+    @property
+    def buffered_out_of_order_bytes(self) -> int:
+        """Bytes received beyond the in-order frontier, awaiting the gap fill."""
+        return sum(end - start for start, end in self._segments)
+
+    @property
+    def missing_ranges(self) -> List[Tuple[int, int]]:
+        """Gaps between the frontier and buffered out-of-order data."""
+        gaps: List[Tuple[int, int]] = []
+        cursor = self.rcv_nxt
+        for start, end in self._segments:
+            if start > cursor:
+                gaps.append((cursor, start))
+            cursor = max(cursor, end)
+        return gaps
+
+    def has_received(self, offset: int) -> bool:
+        """True if the byte at ``offset`` has been received (in or out of order)."""
+        if offset < self.rcv_nxt:
+            return True
+        return any(start <= offset < end for start, end in self._segments)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ReceiveBuffer(rcv_nxt={self.rcv_nxt}, ooo={self._segments})"

@@ -1,0 +1,447 @@
+"""Single-path TCP NewReno sender.
+
+This is the workhorse every other transport in the library builds on:
+
+* DCTCP swaps in a different congestion controller and enables ECN;
+* each MPTCP subflow is a :class:`TcpSender` subclass that pulls its data
+  from the connection-level scheduler and stamps data-sequence numbers;
+* the MMPTCP packet-scatter flow additionally randomises the source port of
+  every data packet and widens the duplicate-ACK threshold.
+
+The implementation follows RFC 5681/6582 (slow start, congestion avoidance,
+fast retransmit, NewReno fast recovery with partial-ACK handling) and RFC
+6298 (RTO management with Karn's rule and exponential backoff).  There is no
+SACK — matching the custom ns-3 MPTCP model the paper used, where a lost
+packet that cannot gather three duplicate ACKs must wait for the
+retransmission timer, which is exactly the failure mode MMPTCP targets.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Protocol, runtime_checkable
+
+from repro.net.host import Host
+from repro.net.packet import FLAG_DATA, FLAG_SYN, Packet
+from repro.sim.engine import Event, Simulator
+from repro.sim.tracing import NULL_SINK, TraceSink
+from repro.transport.base import Endpoint, SenderStats, TcpConfig
+from repro.transport.cc.base import (
+    LOSS_FAST_RETRANSMIT,
+    LOSS_TIMEOUT,
+    CongestionController,
+    NewRenoController,
+)
+from repro.transport.rto import RtoEstimator
+
+SenderCallback = Callable[["TcpSender"], None]
+CongestionEventCallback = Callable[["TcpSender", str], None]
+
+
+@runtime_checkable
+class ReorderingPolicy(Protocol):
+    """Duck type for the MMPTCP reordering-tolerance policies.
+
+    Implementations live in :mod:`repro.core.reordering`; the sender only
+    needs a current duplicate-ACK threshold and a notification hook for
+    spurious retransmissions.
+    """
+
+    def current_threshold(self, sender: "TcpSender") -> int:
+        """Return the duplicate-ACK count that should trigger fast retransmit."""
+        ...
+
+    def on_spurious_retransmit(self, sender: "TcpSender") -> None:
+        """Called when a fast retransmission is judged to have been unnecessary."""
+        ...
+
+
+class TcpSender(Endpoint):
+    """Sending endpoint of a single-path TCP flow."""
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        host: Host,
+        destination: int,
+        destination_port: int,
+        total_bytes: int,
+        flow_id: int = 0,
+        config: TcpConfig = TcpConfig(),
+        congestion_control: Optional[CongestionController] = None,
+        local_port: Optional[int] = None,
+        subflow_id: int = 0,
+        reordering_policy: Optional[ReorderingPolicy] = None,
+        on_complete: Optional[SenderCallback] = None,
+        on_congestion_event: Optional[CongestionEventCallback] = None,
+        trace: TraceSink = NULL_SINK,
+    ) -> None:
+        super().__init__(simulator, host, local_port, trace)
+        if total_bytes < 0:
+            raise ValueError("total_bytes cannot be negative")
+        self.destination = destination
+        self.destination_port = destination_port
+        self.total_bytes = total_bytes
+        self.flow_id = flow_id
+        self.config = config
+        self.mss = config.mss
+        self.subflow_id = subflow_id
+        self.cc = congestion_control if congestion_control is not None else NewRenoController()
+        self.reordering_policy = reordering_policy
+        self.on_complete = on_complete
+        self.on_congestion_event = on_congestion_event
+
+        # Congestion state -------------------------------------------------
+        self.cwnd: float = float(config.initial_cwnd_bytes)
+        self.ssthresh: float = float(config.initial_ssthresh_bytes)
+        self.in_fast_recovery = False
+        self.recover_seq = 0
+        self.dup_ack_count = 0
+
+        # Sequence state ----------------------------------------------------
+        self.snd_una = 0
+        self.snd_nxt = 0
+        #: Highest sequence number ever transmitted; anything re-sent below
+        #: this is a retransmission (matters after a go-back-N timeout).
+        self.snd_max = 0
+
+        # Timers & RTT ------------------------------------------------------
+        self.rto_estimator = RtoEstimator(
+            min_rto=config.min_rto, max_rto=config.max_rto, initial_rto=config.initial_rto
+        )
+        self._rto_event: Optional[Event] = None
+        self._timed_seq: Optional[int] = None
+        self._timed_at = 0.0
+
+        # Spurious-retransmission detection (for the reordering ablation).
+        self._last_fast_retx_seq: Optional[int] = None
+        self._last_fast_retx_time = 0.0
+
+        # Lifecycle ----------------------------------------------------------
+        self.established = False
+        self.started = False
+        self.complete = False
+        self.stats = SenderStats()
+
+    # ------------------------------------------------------------------
+    # Public control
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Begin the connection: record the start time and send the SYN."""
+        if self.started:
+            return
+        self.started = True
+        self.stats.start_time = self.simulator.now
+        self._send_syn()
+        self._restart_rto_timer()
+
+    def flight_size(self) -> float:
+        """Bytes currently outstanding (sent but not cumulatively acknowledged)."""
+        return float(self.snd_nxt - self.snd_una)
+
+    def dupack_threshold(self) -> int:
+        """Duplicate-ACK threshold, possibly adapted by a reordering policy."""
+        if self.reordering_policy is not None:
+            return max(1, self.reordering_policy.current_threshold(self))
+        return self.config.dupack_threshold
+
+    # ------------------------------------------------------------------
+    # Packet arrival
+    # ------------------------------------------------------------------
+
+    def on_packet(self, packet: Packet) -> None:
+        """Handle SYN-ACKs and ACKs from the receiver."""
+        if packet.is_syn and packet.is_ack:
+            self._handle_syn_ack(packet)
+            return
+        if packet.is_ack:
+            self._handle_ack(packet)
+
+    def _handle_syn_ack(self, packet: Packet) -> None:
+        if self.established:
+            return
+        self.established = True
+        self.stats.established_time = self.simulator.now
+        # The handshake round-trip doubles as the first RTT sample.
+        handshake_rtt = self.simulator.now - self.stats.start_time
+        if handshake_rtt > 0:
+            self.rto_estimator.add_sample(handshake_rtt)
+        self.cc.on_established(self)
+        self._restart_rto_timer()
+        self.send_available()
+
+    def _handle_ack(self, packet: Packet) -> None:
+        if self.complete or not self.established:
+            return
+        self.stats.acks_received += 1
+        self._process_dack(packet)
+
+        ack = packet.ack
+        if ack > self.snd_una:
+            self._handle_new_ack(packet, ack)
+        elif ack == self.snd_una and self.flight_size() > 0:
+            self._handle_duplicate_ack(packet)
+
+    def _handle_new_ack(self, packet: Packet, ack: int) -> None:
+        newly_acked = ack - self.snd_una
+        self.snd_una = ack
+        self.dup_ack_count = 0
+
+        # RTT sampling with Karn's rule: only segments never retransmitted are timed.
+        if self._timed_seq is not None and ack >= self._timed_seq:
+            rtt = self.simulator.now - self._timed_at
+            if rtt > 0:
+                self.rto_estimator.add_sample(rtt)
+            self._timed_seq = None
+
+        # Spurious fast-retransmit detection: if the retransmitted segment is
+        # acknowledged faster than any packet could have made a round trip,
+        # the original was merely reordered, not lost.
+        if (
+            self._last_fast_retx_seq is not None
+            and ack > self._last_fast_retx_seq
+            and self.rto_estimator.min_rtt != float("inf")
+            and self.simulator.now - self._last_fast_retx_time
+            < 0.5 * self.rto_estimator.min_rtt
+        ):
+            self.stats.spurious_retransmits += 1
+            if self.reordering_policy is not None:
+                self.reordering_policy.on_spurious_retransmit(self)
+            self._last_fast_retx_seq = None
+
+        # ECN feedback (DCTCP) is evaluated on every ACK carrying new data.
+        self.cc.on_ecn_feedback(self, newly_acked, packet.ecn_echo)
+        if packet.ecn_echo:
+            self.stats.ecn_echoes_received += 1
+
+        if self.in_fast_recovery:
+            if ack >= self.recover_seq:
+                # Full recovery: deflate the window back to ssthresh.
+                self.in_fast_recovery = False
+                self.cwnd = self.ssthresh
+            else:
+                # NewReno partial ACK: retransmit the next missing segment and
+                # deflate by the amount acknowledged.
+                self._retransmit_segment(self.snd_una)
+                self.cwnd = max(self.ssthresh, self.cwnd - newly_acked + self.mss)
+        else:
+            self.cc.on_ack(self, newly_acked)
+
+        self._apply_cwnd_cap()
+
+        if self.snd_una >= self.total_bytes and self._all_data_allocated():
+            self._on_all_data_acked()
+            return
+
+        self._restart_rto_timer()
+        self.send_available()
+
+    def _handle_duplicate_ack(self, packet: Packet) -> None:
+        self.stats.duplicate_acks += 1
+        self.dup_ack_count += 1
+        if self.in_fast_recovery:
+            # Window inflation for every further duplicate ACK.
+            self.cwnd += self.mss
+            self._apply_cwnd_cap()
+            self.send_available()
+            return
+        if self.dup_ack_count >= self.dupack_threshold():
+            self._enter_fast_recovery()
+
+    def _enter_fast_recovery(self) -> None:
+        self.ssthresh = self.cc.ssthresh_after_loss(self, LOSS_FAST_RETRANSMIT)
+        self.recover_seq = self.snd_nxt
+        self.in_fast_recovery = True
+        self.stats.fast_retransmits += 1
+        self._last_fast_retx_seq = self.snd_una
+        self._last_fast_retx_time = self.simulator.now
+        self._retransmit_segment(self.snd_una)
+        self.cwnd = self.ssthresh + 3 * self.mss
+        self._apply_cwnd_cap()
+        self._notify_congestion_event(LOSS_FAST_RETRANSMIT)
+        if self.trace.enabled:
+            self.trace.emit(
+                self.simulator.now,
+                "fast_retransmit",
+                flow_id=self.flow_id,
+                subflow_id=self.subflow_id,
+                seq=self.snd_una,
+            )
+        self.send_available()
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+
+    def send_available(self) -> None:
+        """Transmit as many new segments as the congestion window permits."""
+        if not self.established or self.complete:
+            return
+        self._refill()
+        while self.snd_nxt < self.total_bytes:
+            window_limit = self.snd_una + self.cwnd
+            if self.config.max_cwnd_bytes is not None:
+                window_limit = min(window_limit, self.snd_una + self.config.max_cwnd_bytes)
+            payload = self._payload_at(self.snd_nxt)
+            if payload <= 0:
+                break
+            if self.snd_nxt + payload > window_limit:
+                break
+            already_sent_before = self.snd_nxt < self.snd_max
+            self._send_data(self.snd_nxt, payload, is_retransmission=already_sent_before)
+            self.snd_nxt += payload
+            self.snd_max = max(self.snd_max, self.snd_nxt)
+            self._refill()
+        if self.flight_size() > 0 and self._rto_event is None:
+            self._restart_rto_timer()
+
+    def _send_data(self, seq: int, payload: int, is_retransmission: bool) -> None:
+        packet = Packet(
+            flow_id=self.flow_id,
+            src=self.host.address,
+            dst=self.destination,
+            src_port=self._data_source_port(),
+            dst_port=self.destination_port,
+            seq=seq,
+            flags=FLAG_DATA,
+            payload_size=payload,
+            subflow_id=self.subflow_id,
+            dsn=self._dsn_at(seq),
+            ecn_capable=self.config.ecn_enabled,
+            sent_time=self.simulator.now,
+            is_retransmission=is_retransmission,
+        )
+        self._decorate_data_packet(packet)
+        self.stats.packets_sent += 1
+        self.stats.data_packets_sent += 1
+        self.stats.bytes_sent += packet.size
+        if is_retransmission:
+            self.stats.retransmitted_packets += 1
+            self.stats.retransmitted_bytes += payload
+            # Karn's rule: give up on timing anything currently in flight.
+            self._timed_seq = None
+        elif self._timed_seq is None:
+            self._timed_seq = seq + payload
+            self._timed_at = self.simulator.now
+        self.transmit(packet)
+
+    def _retransmit_segment(self, seq: int) -> None:
+        payload = self._payload_at(seq)
+        if payload <= 0:
+            return
+        self._send_data(seq, payload, is_retransmission=True)
+
+    def _send_syn(self) -> None:
+        packet = Packet(
+            flow_id=self.flow_id,
+            src=self.host.address,
+            dst=self.destination,
+            src_port=self.local_port,
+            dst_port=self.destination_port,
+            flags=FLAG_SYN,
+            subflow_id=self.subflow_id,
+            sent_time=self.simulator.now,
+        )
+        self.stats.packets_sent += 1
+        self.stats.bytes_sent += packet.size
+        self.transmit(packet)
+
+    # ------------------------------------------------------------------
+    # Retransmission timer
+    # ------------------------------------------------------------------
+
+    def _restart_rto_timer(self) -> None:
+        self._cancel_rto_timer()
+        self._rto_event = self.simulator.schedule(self.rto_estimator.rto, self._on_rto)
+
+    def _cancel_rto_timer(self) -> None:
+        if self._rto_event is not None:
+            self._rto_event.cancel()
+            self._rto_event = None
+
+    def _on_rto(self) -> None:
+        self._rto_event = None
+        if self.complete:
+            return
+        if not self.established:
+            # The SYN (or the SYN-ACK) was lost: retry the handshake.
+            self.rto_estimator.backoff()
+            self._send_syn()
+            self._restart_rto_timer()
+            return
+        if self.flight_size() <= 0:
+            return
+
+        self.stats.rto_events += 1
+        self.ssthresh = self.cc.ssthresh_after_loss(self, LOSS_TIMEOUT)
+        self.cwnd = float(self.mss)
+        self.in_fast_recovery = False
+        self.dup_ack_count = 0
+        self._timed_seq = None
+        self._last_fast_retx_seq = None
+        # Go-back-N from the first unacknowledged byte.
+        self.snd_nxt = self.snd_una
+        self.rto_estimator.backoff()
+        self._notify_congestion_event(LOSS_TIMEOUT)
+        if self.trace.enabled:
+            self.trace.emit(
+                self.simulator.now,
+                "rto",
+                flow_id=self.flow_id,
+                subflow_id=self.subflow_id,
+                seq=self.snd_una,
+            )
+        self._restart_rto_timer()
+        self.send_available()
+
+    # ------------------------------------------------------------------
+    # Hooks overridden by subclasses (MPTCP subflow, packet scatter)
+    # ------------------------------------------------------------------
+
+    def _refill(self) -> None:
+        """Pull more data from a connection-level scheduler (no-op for plain TCP)."""
+
+    def _payload_at(self, seq: int) -> int:
+        """Payload size of the segment starting at ``seq``."""
+        return min(self.mss, self.total_bytes - seq)
+
+    def _dsn_at(self, seq: int) -> int:
+        """Connection-level data sequence number for ``seq`` (plain TCP: identity)."""
+        return seq
+
+    def _data_source_port(self) -> int:
+        """Source port stamped on data packets (packet scatter randomises this)."""
+        return self.local_port
+
+    def _decorate_data_packet(self, packet: Packet) -> None:
+        """Last chance for subclasses to adjust an outgoing data packet."""
+
+    def _process_dack(self, packet: Packet) -> None:
+        """Connection-level acknowledgement processing (MPTCP overrides this)."""
+
+    def _all_data_allocated(self) -> bool:
+        """True when ``total_bytes`` is final (always true for plain TCP)."""
+        return True
+
+    def _on_all_data_acked(self) -> None:
+        """Every byte has been cumulatively acknowledged: finish the flow."""
+        self.complete = True
+        self.stats.completion_time = self.simulator.now
+        self._cancel_rto_timer()
+        if self.trace.enabled:
+            self.trace.emit(self.simulator.now, "flow_acked", flow_id=self.flow_id)
+        if self.on_complete is not None:
+            self.on_complete(self)
+
+    # ------------------------------------------------------------------
+    # Internal helpers
+    # ------------------------------------------------------------------
+
+    def _apply_cwnd_cap(self) -> None:
+        if self.config.max_cwnd_bytes is not None:
+            self.cwnd = min(self.cwnd, float(self.config.max_cwnd_bytes))
+        self.cwnd = max(self.cwnd, float(self.mss))
+
+    def _notify_congestion_event(self, kind: str) -> None:
+        if self.on_congestion_event is not None:
+            self.on_congestion_event(self, kind)

@@ -1,0 +1,109 @@
+"""Tests for the ``repro-mmptcp`` command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import SCALES, _config_from_args, _rows_table, _scaled_config, build_parser, main
+from repro.traffic.flowspec import PROTOCOL_MMPTCP, PROTOCOL_MPTCP
+
+
+# ---------------------------------------------------------------------------
+# Parser behaviour
+# ---------------------------------------------------------------------------
+
+
+def test_parser_requires_a_subcommand() -> None:
+    parser = build_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args([])
+
+
+def test_parser_knows_every_documented_subcommand() -> None:
+    parser = build_parser()
+    for command in ("run", "figure1a", "figure1b", "figure1c", "section3",
+                    "loadsweep", "coexistence", "hotspot", "incast", "deadlines"):
+        args = parser.parse_args([command])
+        assert args.command == command
+        assert callable(args.handler)
+
+
+def test_run_defaults_to_mmptcp_quick_scale() -> None:
+    args = build_parser().parse_args(["run"])
+    assert args.protocol == PROTOCOL_MMPTCP
+    assert args.scale == "quick"
+    assert args.subflows == 8
+
+
+def test_run_rejects_unknown_protocol() -> None:
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["run", "--protocol", "quic"])
+
+
+def test_scaled_config_shapes() -> None:
+    quick = _scaled_config("quick", seed=1)
+    large = _scaled_config("large", seed=1)
+    paper = _scaled_config("paper", seed=1)
+    assert quick.fattree_k == 4
+    assert large.fattree_k == 8
+    assert paper.fattree_k == 8 and paper.hosts_per_edge == 16
+    assert {"quick", "large", "paper"} == set(SCALES)
+
+
+def test_config_from_args_applies_overrides() -> None:
+    args = build_parser().parse_args([
+        "run", "--protocol", "mptcp", "--subflows", "4", "--k", "4",
+        "--hosts-per-edge", "2", "--link-mbps", "50", "--max-short-flows", "5",
+        "--arrival-rate", "3.0", "--queue", "ecn", "--switching", "congestion_event",
+    ])
+    config = _config_from_args(args)
+    assert config.protocol == PROTOCOL_MPTCP
+    assert config.num_subflows == 4
+    assert config.hosts_per_edge == 2
+    assert config.link_rate_bps == pytest.approx(50e6)
+    assert config.max_short_flows == 5
+    assert config.queue_kind == "ecn"
+    assert config.switching_policy == "congestion_event"
+
+
+def test_incast_subcommand_defaults() -> None:
+    args = build_parser().parse_args(["incast"])
+    assert args.fan_ins == [8, 16, 32]
+    assert args.topologies == ["fattree"]
+    assert args.response_kb == 70
+
+
+def test_rows_table_renders_floats_and_strings() -> None:
+    table = _rows_table([{"protocol": "mmptcp", "mean": 1.23456}])
+    assert "mmptcp" in table
+    assert "1.2346" in table
+
+
+def test_rows_table_empty() -> None:
+    assert _rows_table([]) == "(no rows)"
+
+
+# ---------------------------------------------------------------------------
+# End-to-end: one tiny run through main()
+# ---------------------------------------------------------------------------
+
+
+def test_main_run_subcommand_executes_and_exports(tmp_path, capsys) -> None:
+    exit_code = main([
+        "run", "--protocol", "mmptcp", "--subflows", "2",
+        "--k", "4", "--hosts-per-edge", "2", "--max-short-flows", "4",
+        "--arrival-rate", "2.0", "--seed", "3",
+        "--export-dir", str(tmp_path),
+    ])
+    assert exit_code == 0
+    output = capsys.readouterr().out
+    assert "short_fct_mean_ms" in output
+
+    flows_csv = tmp_path / "run_mmptcp_flows.csv"
+    summary_json = tmp_path / "run_mmptcp_summary.json"
+    assert flows_csv.exists() and summary_json.exists()
+    payload = json.loads(summary_json.read_text())
+    assert payload["protocol"] == "mmptcp"
+    assert payload["seed"] == 3

@@ -1,0 +1,143 @@
+"""Tests for result export (CSV/JSON) and text CDF rendering."""
+
+from __future__ import annotations
+
+import csv
+import json
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.metrics.collector import ExperimentMetrics
+from repro.metrics.export import (
+    FLOW_RECORD_FIELDS,
+    ascii_cdf,
+    cdf_comparison_rows,
+    flow_record_row,
+    write_cdf_csv,
+    write_flow_records_csv,
+    write_series_csv,
+    write_summary_json,
+)
+from repro.metrics.records import FlowRecord
+
+
+def _records():
+    completed = FlowRecord(
+        flow_id=1, protocol="mmptcp", size_bytes=70_000, is_long=False, start_time=0.01,
+        receiver_completion_time=0.06, rto_events=0, data_packets_sent=50,
+    )
+    unfinished = FlowRecord(
+        flow_id=2, protocol="mptcp", size_bytes=5_000_000, is_long=True, start_time=0.0,
+        bytes_received=1_000_000, rto_events=2,
+    )
+    return [completed, unfinished]
+
+
+# ---------------------------------------------------------------------------
+# CSV / JSON round trips
+# ---------------------------------------------------------------------------
+
+
+def test_flow_record_row_has_every_exported_field() -> None:
+    row = flow_record_row(_records()[0])
+    assert set(row.keys()) == set(FLOW_RECORD_FIELDS)
+
+
+def test_write_flow_records_csv_round_trip(tmp_path) -> None:
+    path = write_flow_records_csv(_records(), tmp_path / "flows.csv")
+    with path.open() as handle:
+        rows = list(csv.DictReader(handle))
+    assert len(rows) == 2
+    assert rows[0]["flow_id"] == "1"
+    assert rows[0]["protocol"] == "mmptcp"
+    # 50 ms completion time, serialised in milliseconds.
+    assert float(rows[0]["completion_time_ms"]) == pytest.approx(50.0)
+    assert rows[1]["receiver_completion_time"] == ""
+
+
+def test_write_flow_records_csv_creates_parent_directories(tmp_path) -> None:
+    path = write_flow_records_csv(_records(), tmp_path / "nested" / "deep" / "flows.csv")
+    assert path.exists()
+
+
+def test_write_summary_json_includes_extra_provenance(tmp_path) -> None:
+    metrics = ExperimentMetrics(flows=_records(), duration_s=1.0)
+    path = write_summary_json(metrics, tmp_path / "summary.json", extra={"seed": 7})
+    payload = json.loads(path.read_text())
+    assert payload["seed"] == 7
+    assert payload["short_flows"] == 1.0
+    assert "short_fct_mean_ms" in payload
+
+
+def test_write_series_csv_preserves_column_order(tmp_path) -> None:
+    rows = [{"b": 2, "a": 1}, {"b": 4, "a": 3}]
+    path = write_series_csv(rows, tmp_path / "series.csv", fieldnames=["a", "b"])
+    header = path.read_text().splitlines()[0]
+    assert header == "a,b"
+
+
+def test_write_series_csv_empty_rows_writes_empty_file(tmp_path) -> None:
+    path = write_series_csv([], tmp_path / "empty.csv")
+    assert path.read_text() == ""
+
+
+def test_write_cdf_csv_is_monotonic(tmp_path) -> None:
+    path = write_cdf_csv([5.0, 1.0, 3.0, 2.0, 4.0], tmp_path / "cdf.csv")
+    with path.open() as handle:
+        rows = list(csv.DictReader(handle))
+    values = [float(row["value"]) for row in rows]
+    fractions = [float(row["cumulative_fraction"]) for row in rows]
+    assert values == sorted(values)
+    assert fractions == sorted(fractions)
+    assert fractions[-1] == pytest.approx(1.0)
+
+
+# ---------------------------------------------------------------------------
+# ASCII CDF
+# ---------------------------------------------------------------------------
+
+
+def test_ascii_cdf_empty_input_renders_nothing() -> None:
+    assert ascii_cdf([]) == ""
+
+
+def test_ascii_cdf_contains_axis_and_range() -> None:
+    chart = ascii_cdf([1.0, 2.0, 3.0], label="fct (ms)")
+    assert "1.0 |" in chart
+    assert "0.0 |" in chart
+    assert "fct (ms)" in chart
+    assert "*" in chart
+
+
+def test_ascii_cdf_rejects_tiny_canvas() -> None:
+    with pytest.raises(ValueError):
+        ascii_cdf([1.0], width=2, height=2)
+
+
+@given(st.lists(st.floats(min_value=0.0, max_value=1e4), min_size=1, max_size=200))
+def test_ascii_cdf_never_raises_on_valid_samples(values) -> None:
+    """Property: any non-empty sample renders without error."""
+    chart = ascii_cdf(values)
+    assert isinstance(chart, str) and chart
+
+
+# ---------------------------------------------------------------------------
+# CDF comparison rows
+# ---------------------------------------------------------------------------
+
+
+def test_cdf_comparison_rows_fraction_below_thresholds() -> None:
+    series = {"mmptcp": [50.0, 80.0, 90.0, 300.0], "mptcp": [60.0, 250.0, 450.0, 800.0]}
+    rows = cdf_comparison_rows(series, thresholds=[100.0, 200.0])
+    by_name = {row["series"]: row for row in rows}
+    assert by_name["mmptcp"]["<= 100"] == pytest.approx(0.75)
+    assert by_name["mmptcp"]["<= 200"] == pytest.approx(0.75)
+    assert by_name["mptcp"]["<= 100"] == pytest.approx(0.25)
+    assert by_name["mptcp"]["samples"] == 4
+
+
+def test_cdf_comparison_rows_handles_empty_series() -> None:
+    rows = cdf_comparison_rows({"empty": []}, thresholds=[1.0])
+    assert rows[0]["samples"] == 0
+    assert rows[0]["<= 1"] == 0.0

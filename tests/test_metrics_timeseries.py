@@ -1,0 +1,130 @@
+"""Tests for the queue-occupancy sampler."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.metrics.timeseries import OccupancySummary, QueueOccupancySampler, QueueSample
+from repro.net.queues import DropTailQueue
+from repro.sim.engine import Simulator
+from repro.sim.units import megabits_per_second, microseconds
+from repro.topology.simple import IncastTopology
+from repro.transport.base import TcpConfig
+from repro.transport.receiver import TcpReceiver
+from repro.transport.tcp import TcpSender
+
+
+def _run_incast_with_sampler(fan_in: int = 8, interval_s: float = 2e-4, until=None):
+    """A synchronised incast burst with a sampler attached to the switch."""
+    simulator = Simulator()
+    topology = IncastTopology(
+        simulator,
+        fan_in=fan_in,
+        link_rate_bps=megabits_per_second(100),
+        link_delay_s=microseconds(50),
+        queue_factory=lambda: DropTailQueue(capacity_packets=64),
+    )
+    config = TcpConfig(mss=1000, initial_cwnd_segments=4)
+    size = 70_000
+    for index, sender_host in enumerate(topology.senders):
+        TcpReceiver(simulator, topology.receiver, local_port=5001 + index, flow_id=index,
+                    expected_bytes=size)
+        sender = TcpSender(simulator, sender_host, topology.receiver.address, 5001 + index,
+                           size, flow_id=index, config=config)
+        simulator.schedule_at(0.001, sender.start)
+    sampler = QueueOccupancySampler(simulator, topology.switches, interval_s=interval_s,
+                                    until=until)
+    sampler.start()
+    simulator.run(until=3.0)
+    return sampler
+
+
+# ---------------------------------------------------------------------------
+# Validation
+# ---------------------------------------------------------------------------
+
+
+def test_sampler_rejects_bad_interval_and_horizon() -> None:
+    simulator = Simulator()
+    with pytest.raises(ValueError):
+        QueueOccupancySampler(simulator, [], interval_s=0.0)
+    with pytest.raises(ValueError):
+        QueueOccupancySampler(simulator, [], interval_s=0.001, until=-1.0)
+
+
+def test_sampler_without_traffic_collects_nothing() -> None:
+    simulator = Simulator()
+    topology = IncastTopology(simulator, fan_in=2)
+    sampler = QueueOccupancySampler(simulator, topology.switches, interval_s=0.01, until=0.05)
+    sampler.start()
+    simulator.run(until=0.1)
+    assert sampler.samples == []
+    summary = sampler.layer_summary("edge")
+    assert isinstance(summary, OccupancySummary)
+    assert summary.samples == 0 and summary.peak_packets == 0
+
+
+# ---------------------------------------------------------------------------
+# Sampling a real burst
+# ---------------------------------------------------------------------------
+
+
+def test_sampler_observes_queue_buildup_during_incast() -> None:
+    sampler = _run_incast_with_sampler(fan_in=8)
+    assert sampler.samples, "an 8-to-1 burst over a 100 Mbps link must queue packets"
+    assert all(isinstance(sample, QueueSample) for sample in sampler.samples)
+    summary = sampler.layer_summary("edge")
+    assert summary.peak_packets >= 2
+    assert summary.peak_bytes >= summary.peak_packets  # packets are > 1 byte each
+    assert 0 < summary.mean_packets <= summary.peak_packets
+
+
+def test_larger_fan_in_builds_deeper_queues() -> None:
+    small = _run_incast_with_sampler(fan_in=4).layer_summary("edge")
+    large = _run_incast_with_sampler(fan_in=16).layer_summary("edge")
+    assert large.peak_packets >= small.peak_packets
+
+
+def test_peak_series_is_time_ordered_and_bounded_by_summary_peak() -> None:
+    sampler = _run_incast_with_sampler(fan_in=8)
+    series = sampler.peak_series("edge")
+    assert series
+    times = [time for time, _ in series]
+    assert times == sorted(times)
+    summary = sampler.layer_summary("edge")
+    assert max(peak for _, peak in series) == summary.peak_packets
+
+
+def test_busiest_queues_ranked_and_capped() -> None:
+    sampler = _run_incast_with_sampler(fan_in=8)
+    busiest = sampler.busiest_queues(top=3)
+    assert 1 <= len(busiest) <= 3
+    peaks = [peak for _, _, peak in busiest]
+    assert peaks == sorted(peaks, reverse=True)
+    # The receiver's downlink is the incast bottleneck, so the worst queue is
+    # on the single edge switch.
+    assert busiest[0][0] == "switch-0"
+
+
+def test_to_rows_matches_samples() -> None:
+    sampler = _run_incast_with_sampler(fan_in=4)
+    rows = sampler.to_rows()
+    assert len(rows) == len(sampler.samples)
+    if rows:
+        assert {"time_s", "switch", "layer", "interface_index",
+                "queued_packets", "queued_bytes"} == set(rows[0])
+
+
+def test_sampler_respects_until_horizon() -> None:
+    sampler = _run_incast_with_sampler(fan_in=8, until=0.002)
+    assert all(sample.time_s <= 0.002 + 1e-9 for sample in sampler.samples)
+
+
+def test_stop_prevents_further_samples() -> None:
+    simulator = Simulator()
+    topology = IncastTopology(simulator, fan_in=2)
+    sampler = QueueOccupancySampler(simulator, topology.switches, interval_s=0.01)
+    sampler.start()
+    sampler.stop()
+    simulator.run(until=0.5)
+    assert sampler.samples == []

@@ -1,0 +1,151 @@
+"""Unit tests for queue disciplines."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net.packet import FLAG_DATA, Packet
+from repro.net.queues import DropTailQueue, EcnQueue, SharedBufferPool, SharedBufferQueue
+
+
+def _packet(size: int = 1000, ecn_capable: bool = False) -> Packet:
+    return Packet(
+        flow_id=1,
+        src=1,
+        dst=2,
+        src_port=1,
+        dst_port=2,
+        flags=FLAG_DATA,
+        payload_size=size,
+        header_size=0,
+        ecn_capable=ecn_capable,
+    )
+
+
+class TestDropTailQueue:
+    def test_fifo_order(self) -> None:
+        queue = DropTailQueue(capacity_packets=10)
+        packets = [_packet() for _ in range(3)]
+        for packet in packets:
+            assert queue.enqueue(packet)
+        assert [queue.dequeue() for _ in range(3)] == packets
+        assert queue.dequeue() is None
+
+    def test_packet_capacity_enforced(self) -> None:
+        queue = DropTailQueue(capacity_packets=2)
+        assert queue.enqueue(_packet())
+        assert queue.enqueue(_packet())
+        assert not queue.enqueue(_packet())
+        assert queue.stats.dropped_packets == 1
+        assert len(queue) == 2
+
+    def test_byte_capacity_enforced(self) -> None:
+        queue = DropTailQueue(capacity_packets=None, capacity_bytes=2500)
+        assert queue.enqueue(_packet(1000))
+        assert queue.enqueue(_packet(1000))
+        assert not queue.enqueue(_packet(1000))
+        assert queue.byte_length == 2000
+
+    def test_dequeue_frees_space(self) -> None:
+        queue = DropTailQueue(capacity_packets=1)
+        assert queue.enqueue(_packet())
+        assert not queue.enqueue(_packet())
+        queue.dequeue()
+        assert queue.enqueue(_packet())
+
+    def test_statistics_track_bytes_and_drop_rate(self) -> None:
+        queue = DropTailQueue(capacity_packets=1)
+        queue.enqueue(_packet(500))
+        queue.enqueue(_packet(700))
+        queue.dequeue()
+        assert queue.stats.enqueued_bytes == 500
+        assert queue.stats.dropped_bytes == 700
+        assert queue.stats.dequeued_bytes == 500
+        assert queue.stats.offered_packets == 2
+        assert queue.stats.drop_rate == pytest.approx(0.5)
+
+    def test_requires_at_least_one_bound(self) -> None:
+        with pytest.raises(ValueError):
+            DropTailQueue(capacity_packets=None, capacity_bytes=None)
+
+    def test_rejects_nonpositive_capacities(self) -> None:
+        with pytest.raises(ValueError):
+            DropTailQueue(capacity_packets=0)
+        with pytest.raises(ValueError):
+            DropTailQueue(capacity_packets=None, capacity_bytes=-1)
+
+
+class TestEcnQueue:
+    def test_marks_ecn_capable_packets_above_threshold(self) -> None:
+        queue = EcnQueue(capacity_packets=10, marking_threshold=2)
+        first = _packet(ecn_capable=True)
+        second = _packet(ecn_capable=True)
+        third = _packet(ecn_capable=True)
+        queue.enqueue(first)
+        queue.enqueue(second)
+        queue.enqueue(third)  # occupancy 2 at arrival -> marked
+        assert not first.ecn_ce
+        assert not second.ecn_ce
+        assert third.ecn_ce
+        assert queue.stats.ecn_marked_packets == 1
+
+    def test_does_not_mark_non_ecn_packets(self) -> None:
+        queue = EcnQueue(capacity_packets=10, marking_threshold=0)
+        packet = _packet(ecn_capable=False)
+        queue.enqueue(packet)
+        assert not packet.ecn_ce
+
+    def test_still_drops_when_full(self) -> None:
+        queue = EcnQueue(capacity_packets=1, marking_threshold=0)
+        queue.enqueue(_packet(ecn_capable=True))
+        assert not queue.enqueue(_packet(ecn_capable=True))
+        assert queue.stats.dropped_packets == 1
+
+
+class TestSharedBuffer:
+    def test_pool_admits_until_exhausted(self) -> None:
+        pool = SharedBufferPool(total_bytes=3000, alpha=1.0)
+        queue = SharedBufferQueue(pool)
+        assert queue.enqueue(_packet(1000))
+        assert queue.enqueue(_packet(1000))
+        # Dynamic threshold: occupancy (2000) + 1000 > alpha * free (1000).
+        assert not queue.enqueue(_packet(1000))
+
+    def test_dynamic_threshold_squeezes_hot_port(self) -> None:
+        pool = SharedBufferPool(total_bytes=4000, alpha=0.5)
+        hot = SharedBufferQueue(pool)
+        cold = SharedBufferQueue(pool)
+        # hot holds 0; threshold = 0.5 * free(4000) = 2000 -> accepted.
+        assert hot.enqueue(_packet(1000))
+        # hot holds 1000; threshold = 0.5 * free(3000) = 1500 < 2000 -> rejected:
+        # the dynamic threshold caps how much one port can hog.
+        assert not hot.enqueue(_packet(1000))
+        # The cold port still gets space (0 + 1000 <= 1500).
+        assert cold.enqueue(_packet(1000))
+
+    def test_release_returns_space_to_pool(self) -> None:
+        pool = SharedBufferPool(total_bytes=2000)
+        queue = SharedBufferQueue(pool)
+        assert queue.enqueue(_packet(1000))
+        # Occupancy 1000 + 1000 exceeds alpha * free(1000) -> rejected.
+        assert not queue.enqueue(_packet(1000))
+        assert pool.used_bytes == 1000
+        queue.dequeue()
+        assert pool.used_bytes == 0
+        assert queue.enqueue(_packet(1000))
+
+    def test_optional_ecn_marking(self) -> None:
+        pool = SharedBufferPool(total_bytes=100_000)
+        queue = SharedBufferQueue(pool, marking_threshold=1)
+        first = _packet(ecn_capable=True)
+        second = _packet(ecn_capable=True)
+        queue.enqueue(first)
+        queue.enqueue(second)
+        assert not first.ecn_ce
+        assert second.ecn_ce
+
+    def test_pool_validation(self) -> None:
+        with pytest.raises(ValueError):
+            SharedBufferPool(total_bytes=0)
+        with pytest.raises(ValueError):
+            SharedBufferPool(total_bytes=100, alpha=0)

@@ -1,0 +1,140 @@
+"""Unit tests for switch forwarding, routing-table computation and monitoring."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net.host import Host
+from repro.net.monitor import NetworkMonitor
+from repro.net.packet import FLAG_DATA, Packet
+from repro.net.routing import count_equal_cost_paths, verify_all_pairs_routable
+from repro.net.switch import LAYER_CORE, LAYER_EDGE
+from repro.sim.engine import Simulator
+from repro.topology.simple import TwoHostTopology, TwoPathTopology
+
+
+def _packet(src: int, dst: int, src_port: int = 4000) -> Packet:
+    return Packet(
+        flow_id=1, src=src, dst=dst, src_port=src_port, dst_port=5001,
+        flags=FLAG_DATA, payload_size=100,
+    )
+
+
+class _Collector:
+    """Endpoint stub that records delivered packets."""
+
+    def __init__(self) -> None:
+        self.packets = []
+
+    def on_packet(self, packet) -> None:
+        self.packets.append(packet)
+
+
+def test_switch_forwards_to_destination_host() -> None:
+    simulator = Simulator()
+    topology = TwoHostTopology(simulator)
+    collector = _Collector()
+    topology.receiver.bind(5001, collector)
+    topology.sender.send(_packet(src=topology.sender.address, dst=topology.receiver.address))
+    simulator.run()
+    assert len(collector.packets) == 1
+    switch = topology.switches[0]
+    assert switch.forwarded_packets >= 1
+    assert switch.layer == LAYER_EDGE
+
+
+def test_unroutable_destination_is_counted_not_crashed() -> None:
+    simulator = Simulator()
+    topology = TwoHostTopology(simulator)
+    topology.sender.send(_packet(src=topology.sender.address, dst=999))
+    simulator.run()
+    assert topology.switches[0].unroutable_packets == 1
+
+
+def test_host_counts_packets_for_unknown_ports_and_wrong_address() -> None:
+    simulator = Simulator()
+    topology = TwoHostTopology(simulator)
+    # No endpoint bound at port 5001.
+    topology.sender.send(_packet(src=topology.sender.address, dst=topology.receiver.address))
+    simulator.run()
+    assert topology.receiver.undeliverable_packets == 1
+
+    # Direct mis-delivery (bypasses routing): wrong destination address.
+    topology.receiver.receive(_packet(src=0, dst=12345), None)
+    assert topology.receiver.unroutable_packets == 1
+
+
+def test_multipath_routes_installed_for_all_destinations() -> None:
+    simulator = Simulator()
+    topology = TwoPathTopology(simulator, paths=3)
+    assert verify_all_pairs_routable(topology.graph, topology.hosts, topology.switches)
+    ingress = topology.node("ingress")
+    # From the ingress switch, the receiver is reachable via all three path switches.
+    routes = ingress.routes_to(topology.receiver.address)
+    assert len(routes) == 3
+
+
+def test_ecmp_spreads_different_ports_over_paths() -> None:
+    simulator = Simulator()
+    topology = TwoPathTopology(simulator, paths=3)
+    collector = _Collector()
+    topology.receiver.bind(5001, collector)
+    for port in range(40000, 40060):
+        topology.sender.send(
+            _packet(src=topology.sender.address, dst=topology.receiver.address, src_port=port)
+        )
+    simulator.run()
+    assert len(collector.packets) == 60
+    used_paths = [
+        switch for switch in topology.core_switches if switch.forwarded_packets > 0
+    ]
+    assert len(used_paths) >= 2  # the hash must not map everything to one path
+
+
+def test_single_flow_uses_single_path() -> None:
+    simulator = Simulator()
+    topology = TwoPathTopology(simulator, paths=4)
+    collector = _Collector()
+    topology.receiver.bind(5001, collector)
+    for _ in range(30):
+        topology.sender.send(
+            _packet(src=topology.sender.address, dst=topology.receiver.address, src_port=4000)
+        )
+    simulator.run()
+    used_paths = [s for s in topology.core_switches if s.forwarded_packets > 0]
+    assert len(used_paths) == 1
+
+
+def test_count_equal_cost_paths() -> None:
+    simulator = Simulator()
+    topology = TwoPathTopology(simulator, paths=4)
+    assert count_equal_cost_paths(topology.graph, "host-a", "host-b") == 4
+    assert count_equal_cost_paths(topology.graph, "host-a", "host-a") == 1
+    assert count_equal_cost_paths(topology.graph, "host-a", "nonexistent") == 0
+
+
+def test_install_route_rejects_empty_next_hops() -> None:
+    simulator = Simulator()
+    topology = TwoHostTopology(simulator)
+    with pytest.raises(ValueError):
+        topology.switches[0].install_route(123, [])
+
+
+def test_network_monitor_snapshot_aggregates_by_layer() -> None:
+    simulator = Simulator()
+    topology = TwoPathTopology(simulator, paths=2)
+    collector = _Collector()
+    topology.receiver.bind(5001, collector)
+    for port in range(4000, 4020):
+        topology.sender.send(
+            _packet(src=topology.sender.address, dst=topology.receiver.address, src_port=port)
+        )
+    simulator.run()
+    monitor = NetworkMonitor(topology.hosts, topology.switches)
+    snapshot = monitor.snapshot(duration_s=simulator.now or 1.0)
+    assert LAYER_CORE in snapshot.layer_loss
+    assert LAYER_EDGE in snapshot.layer_loss
+    assert snapshot.total_bytes_carried > 0
+    assert snapshot.loss_rate(LAYER_CORE) == 0.0
+    assert snapshot.loss_rate("nonexistent") == 0.0
+    assert monitor.host_drop_counts()["host-a"] == 0

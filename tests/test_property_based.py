@@ -1,0 +1,213 @@
+"""Property-based tests (hypothesis) for core data structures and invariants."""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.ecmp import fnv1a_64, select_path
+from repro.net.packet import FLAG_DATA, Packet
+from repro.net.queues import DropTailQueue
+from repro.sim.randomness import derive_seed
+from repro.sim.units import throughput_bps, transmission_delay
+from repro.traffic.arrivals import poisson_arrivals
+from repro.traffic.matrices import permutation_pairs
+from repro.transport.rto import RtoEstimator
+from repro.transport.sequence import ReceiveBuffer
+
+# ---------------------------------------------------------------------------
+# ReceiveBuffer: regardless of arrival order, delivering every segment of a
+# stream exactly advances the frontier to the total length.
+# ---------------------------------------------------------------------------
+
+segment_lists = st.lists(
+    st.integers(min_value=1, max_value=5), min_size=1, max_size=30
+)
+
+
+@given(sizes=segment_lists, order_seed=st.integers(0, 2**32 - 1))
+@settings(max_examples=200, deadline=None)
+def test_receive_buffer_reassembles_any_arrival_order(sizes, order_seed) -> None:
+    segments = []
+    offset = 0
+    for size in sizes:
+        segments.append((offset, size))
+        offset += size
+    total = offset
+    rng = random.Random(order_seed)
+    shuffled = segments[:]
+    rng.shuffle(shuffled)
+
+    buffer = ReceiveBuffer()
+    for start, length in shuffled:
+        buffer.add(start, length)
+    assert buffer.rcv_nxt == total
+    assert buffer.buffered_out_of_order_bytes == 0
+    assert buffer.missing_ranges == []
+
+
+@given(sizes=segment_lists, dup_seed=st.integers(0, 2**32 - 1))
+@settings(max_examples=100, deadline=None)
+def test_receive_buffer_idempotent_under_duplicates(sizes, dup_seed) -> None:
+    segments = []
+    offset = 0
+    for size in sizes:
+        segments.append((offset, size))
+        offset += size
+    rng = random.Random(dup_seed)
+    stream = segments + [rng.choice(segments) for _ in range(len(segments))]
+    rng.shuffle(stream)
+    buffer = ReceiveBuffer()
+    for start, length in stream:
+        buffer.add(start, length)
+    assert buffer.rcv_nxt == offset
+    # Frontier never exceeds the number of distinct bytes sent.
+    assert buffer.duplicate_bytes == buffer.total_bytes_received - offset
+
+
+@given(
+    frontier_gap=st.integers(min_value=1, max_value=1000),
+    length=st.integers(min_value=1, max_value=1000),
+)
+@settings(max_examples=100, deadline=None)
+def test_receive_buffer_out_of_order_never_advances_frontier(frontier_gap, length) -> None:
+    buffer = ReceiveBuffer()
+    advanced = buffer.add(frontier_gap, length)
+    assert advanced == 0
+    assert buffer.rcv_nxt == 0
+
+
+# ---------------------------------------------------------------------------
+# ECMP hashing: determinism, range, and flow stickiness.
+# ---------------------------------------------------------------------------
+
+packet_fields = st.tuples(
+    st.integers(0, 2**20), st.integers(0, 2**20),
+    st.integers(1, 65535), st.integers(1, 65535), st.integers(1, 64),
+)
+
+
+@given(fields=packet_fields, num_paths=st.integers(1, 64), salt=st.integers(0, 2**32))
+@settings(max_examples=300, deadline=None)
+def test_ecmp_choice_in_range_and_deterministic(fields, num_paths, salt) -> None:
+    src, dst, sport, dport, salt_extra = fields
+    packet = Packet(flow_id=1, src=src, dst=dst, src_port=sport, dst_port=dport,
+                    flags=FLAG_DATA, payload_size=10)
+    choice = select_path(packet, num_paths, salt=salt)
+    assert 0 <= choice < num_paths
+    # Same 5-tuple, same salt -> same choice (flow stickiness under ECMP).
+    clone = Packet(flow_id=2, src=src, dst=dst, src_port=sport, dst_port=dport,
+                   flags=FLAG_DATA, payload_size=999)
+    assert select_path(clone, num_paths, salt=salt) == choice
+
+
+@given(values=st.lists(st.integers(0, 2**63 - 1), min_size=1, max_size=8),
+       salt=st.integers(0, 2**63 - 1))
+@settings(max_examples=200, deadline=None)
+def test_fnv_hash_is_stable_and_64bit(values, salt) -> None:
+    digest = fnv1a_64(tuple(values), salt=salt)
+    assert digest == fnv1a_64(tuple(values), salt=salt)
+    assert 0 <= digest < 2**64
+
+
+# ---------------------------------------------------------------------------
+# Queues: conservation — every offered packet is either delivered or dropped.
+# ---------------------------------------------------------------------------
+
+
+@given(
+    capacity=st.integers(min_value=1, max_value=20),
+    operations=st.lists(st.booleans(), min_size=1, max_size=200),
+)
+@settings(max_examples=200, deadline=None)
+def test_droptail_queue_conserves_packets(capacity, operations) -> None:
+    queue = DropTailQueue(capacity_packets=capacity)
+    dequeued = 0
+    for should_enqueue in operations:
+        if should_enqueue:
+            queue.enqueue(Packet(flow_id=1, src=1, dst=2, src_port=1, dst_port=2,
+                                 flags=FLAG_DATA, payload_size=100))
+        else:
+            if queue.dequeue() is not None:
+                dequeued += 1
+    stats = queue.stats
+    assert stats.enqueued_packets == dequeued + len(queue)
+    assert stats.offered_packets == stats.enqueued_packets + stats.dropped_packets
+    assert len(queue) <= capacity
+
+
+# ---------------------------------------------------------------------------
+# RTO estimator: the timeout always respects its clamps.
+# ---------------------------------------------------------------------------
+
+
+@given(
+    samples=st.lists(st.floats(min_value=1e-6, max_value=5.0), min_size=0, max_size=50),
+    backoffs=st.integers(min_value=0, max_value=10),
+)
+@settings(max_examples=200, deadline=None)
+def test_rto_always_within_clamps(samples, backoffs) -> None:
+    estimator = RtoEstimator(min_rto=0.2, max_rto=60.0)
+    for sample in samples:
+        estimator.add_sample(sample)
+    for _ in range(backoffs):
+        estimator.backoff()
+    assert 0.2 <= estimator.rto <= 60.0
+
+
+# ---------------------------------------------------------------------------
+# Traffic generation invariants.
+# ---------------------------------------------------------------------------
+
+
+@given(n=st.integers(min_value=2, max_value=100), seed=st.integers(0, 2**32 - 1))
+@settings(max_examples=100, deadline=None)
+def test_permutation_matrix_is_always_a_derangement(n, seed) -> None:
+    hosts = [f"h{i}" for i in range(n)]
+    pairs = permutation_pairs(hosts, random.Random(seed))
+    assert len(pairs) == n
+    assert all(src != dst for src, dst in pairs)
+    assert sorted(dst for _, dst in pairs) == sorted(hosts)
+
+
+@given(rate=st.floats(min_value=0.1, max_value=500.0),
+       duration=st.floats(min_value=0.01, max_value=5.0),
+       seed=st.integers(0, 2**32 - 1))
+@settings(max_examples=100, deadline=None)
+def test_poisson_arrivals_sorted_and_in_window(rate, duration, seed) -> None:
+    arrivals = poisson_arrivals(rate, duration, random.Random(seed))
+    assert arrivals == sorted(arrivals)
+    assert all(0.0 <= t < duration for t in arrivals)
+
+
+# ---------------------------------------------------------------------------
+# Units and seed derivation.
+# ---------------------------------------------------------------------------
+
+
+@given(size=st.integers(min_value=0, max_value=10**9),
+       rate=st.floats(min_value=1e3, max_value=1e12))
+@settings(max_examples=200, deadline=None)
+def test_transmission_delay_non_negative_and_linear(size, rate) -> None:
+    delay = transmission_delay(size, rate)
+    assert delay >= 0.0
+    assert transmission_delay(2 * size, rate) >= delay
+
+
+@given(size=st.integers(min_value=1, max_value=10**9),
+       duration=st.floats(min_value=1e-6, max_value=1e4))
+@settings(max_examples=200, deadline=None)
+def test_throughput_roundtrips_with_transmission_delay(size, duration) -> None:
+    rate = throughput_bps(size, duration)
+    assert rate > 0
+    assert transmission_delay(size, rate) * (1 + 1e-9) >= duration * (1 - 1e-9)
+
+
+@given(seed=st.integers(min_value=0, max_value=2**62), name=st.text(min_size=0, max_size=30))
+@settings(max_examples=200, deadline=None)
+def test_derive_seed_stable_and_in_range(seed, name) -> None:
+    value = derive_seed(seed, name)
+    assert value == derive_seed(seed, name)
+    assert 0 <= value < 2**64

@@ -1,0 +1,41 @@
+"""Unit tests for trace sinks."""
+
+from __future__ import annotations
+
+from repro.sim.tracing import NULL_SINK, CallbackTraceSink, RecordingTraceSink, TraceSink
+
+
+def test_null_sink_is_disabled_and_silent() -> None:
+    assert isinstance(NULL_SINK, TraceSink)
+    assert not NULL_SINK.enabled
+    NULL_SINK.emit(1.0, "anything", key="value")  # must not raise
+
+
+def test_recording_sink_stores_events_by_name() -> None:
+    sink = RecordingTraceSink()
+    sink.emit(0.1, "drop", node="edge-0")
+    sink.emit(0.2, "drop", node="core-1")
+    sink.emit(0.3, "rto", flow_id=7)
+    assert sink.count("drop") == 2
+    assert sink.count("rto") == 1
+    assert sink.count("missing") == 0
+    assert len(sink.events) == 3
+    assert sink.by_name["drop"][0].data["node"] == "edge-0"
+    assert sink.events[2].time == 0.3
+
+
+def test_recording_sink_clear() -> None:
+    sink = RecordingTraceSink()
+    sink.emit(0.1, "drop")
+    sink.clear()
+    assert sink.count("drop") == 0
+    assert sink.events == []
+
+
+def test_callback_sink_invokes_matching_callbacks_only() -> None:
+    sink = CallbackTraceSink()
+    seen = []
+    sink.on("rto", lambda event: seen.append(event.data["flow_id"]))
+    sink.emit(0.5, "rto", flow_id=3)
+    sink.emit(0.6, "drop", node="x")
+    assert seen == [3]

@@ -1,0 +1,168 @@
+"""Tests for deadline assignment and deadline-miss accounting."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.units import megabits_per_second
+from repro.traffic.deadlines import (
+    DEADLINE_OPTION,
+    DeadlineParams,
+    deadline_miss_rate,
+    deadline_of,
+    ideal_transfer_time,
+    slack_deadlines,
+    uniform_deadlines,
+)
+from repro.traffic.flowspec import FlowSpec
+
+
+def _make_flows(short_count: int = 5, long_count: int = 2):
+    flows = []
+    flow_id = 1
+    for _ in range(short_count):
+        flows.append(FlowSpec(flow_id, "a", "b", size_bytes=70_000, is_long=False))
+        flow_id += 1
+    for _ in range(long_count):
+        flows.append(FlowSpec(flow_id, "c", "d", size_bytes=5_000_000, is_long=True))
+        flow_id += 1
+    return flows
+
+
+# ---------------------------------------------------------------------------
+# Parameter validation
+# ---------------------------------------------------------------------------
+
+
+def test_deadline_params_validation() -> None:
+    with pytest.raises(ValueError):
+        DeadlineParams(slack_factor=0.0)
+    with pytest.raises(ValueError):
+        DeadlineParams(link_rate_bps=0.0)
+    with pytest.raises(ValueError):
+        DeadlineParams(base_rtt_s=-1.0)
+
+
+def test_ideal_transfer_time_rejects_negative_size() -> None:
+    with pytest.raises(ValueError):
+        ideal_transfer_time(-1, 1e9)
+
+
+def test_ideal_transfer_time_scales_with_size_and_rate() -> None:
+    slow = ideal_transfer_time(100_000, megabits_per_second(100))
+    fast = ideal_transfer_time(100_000, megabits_per_second(1000))
+    assert slow == pytest.approx(10 * fast)
+    bigger = ideal_transfer_time(200_000, megabits_per_second(100))
+    assert bigger == pytest.approx(2 * slow)
+
+
+# ---------------------------------------------------------------------------
+# Slack-based assignment
+# ---------------------------------------------------------------------------
+
+
+def test_slack_deadlines_only_annotate_short_flows_by_default() -> None:
+    flows = _make_flows()
+    slack_deadlines(flows, DeadlineParams(slack_factor=2.0, link_rate_bps=1e9))
+    for flow in flows:
+        if flow.is_long:
+            assert deadline_of(flow) is None
+        else:
+            assert deadline_of(flow) is not None
+
+
+def test_slack_deadlines_can_include_long_flows() -> None:
+    flows = _make_flows()
+    params = DeadlineParams(slack_factor=2.0, link_rate_bps=1e9, long_flows_have_deadlines=True)
+    slack_deadlines(flows, params)
+    assert all(deadline_of(flow) is not None for flow in flows)
+
+
+def test_slack_deadline_respects_minimum_clamp() -> None:
+    flows = [FlowSpec(1, "a", "b", size_bytes=100, is_long=False)]
+    params = DeadlineParams(slack_factor=1.0, link_rate_bps=1e12, minimum_s=0.01)
+    slack_deadlines(flows, params)
+    assert deadline_of(flows[0]) == pytest.approx(0.01)
+
+
+def test_slack_deadline_proportional_to_slack_factor() -> None:
+    flows_a = [FlowSpec(1, "a", "b", size_bytes=1_000_000, is_long=False)]
+    flows_b = [FlowSpec(1, "a", "b", size_bytes=1_000_000, is_long=False)]
+    base = DeadlineParams(slack_factor=1.0, link_rate_bps=1e8, minimum_s=0.0)
+    double = DeadlineParams(slack_factor=2.0, link_rate_bps=1e8, minimum_s=0.0)
+    slack_deadlines(flows_a, base)
+    slack_deadlines(flows_b, double)
+    assert deadline_of(flows_b[0]) == pytest.approx(2 * deadline_of(flows_a[0]))
+
+
+@given(
+    size=st.integers(min_value=1_000, max_value=10_000_000),
+    slack=st.floats(min_value=1.0, max_value=10.0),
+)
+def test_slack_deadline_never_smaller_than_ideal_time(size: int, slack: float) -> None:
+    """Property: a slack >= 1 deadline is always achievable on an empty network."""
+    flow = FlowSpec(1, "a", "b", size_bytes=size, is_long=False)
+    params = DeadlineParams(slack_factor=slack, link_rate_bps=1e9, minimum_s=0.0)
+    slack_deadlines([flow], params)
+    ideal = ideal_transfer_time(size, params.link_rate_bps, params.base_rtt_s)
+    assert deadline_of(flow) >= ideal - 1e-12
+
+
+# ---------------------------------------------------------------------------
+# Uniform assignment
+# ---------------------------------------------------------------------------
+
+
+def test_uniform_deadlines_within_bounds() -> None:
+    flows = _make_flows(short_count=20, long_count=0)
+    uniform_deadlines(flows, random.Random(1), low_s=0.01, high_s=0.05)
+    for flow in flows:
+        assert 0.01 <= deadline_of(flow) <= 0.05
+
+
+def test_uniform_deadlines_validation() -> None:
+    with pytest.raises(ValueError):
+        uniform_deadlines([], random.Random(1), low_s=0.0, high_s=1.0)
+    with pytest.raises(ValueError):
+        uniform_deadlines([], random.Random(1), low_s=1.0, high_s=0.5)
+
+
+def test_uniform_deadlines_skip_long_flows_unless_asked() -> None:
+    flows = _make_flows(short_count=3, long_count=3)
+    uniform_deadlines(flows, random.Random(1), low_s=0.01, high_s=0.05)
+    assert all(deadline_of(flow) is None for flow in flows if flow.is_long)
+    uniform_deadlines(flows, random.Random(1), low_s=0.01, high_s=0.05, include_long_flows=True)
+    assert all(deadline_of(flow) is not None for flow in flows)
+
+
+# ---------------------------------------------------------------------------
+# Miss-rate accounting
+# ---------------------------------------------------------------------------
+
+
+def test_deadline_miss_rate_counts_late_and_unfinished_flows() -> None:
+    flows = _make_flows(short_count=4, long_count=0)
+    for flow in flows:
+        flow.options[DEADLINE_OPTION] = 0.1
+    completion = {
+        flows[0].flow_id: 0.05,   # met
+        flows[1].flow_id: 0.15,   # missed (late)
+        flows[2].flow_id: None,   # missed (never completed)
+        # flows[3] absent from the mapping: also a miss
+    }
+    assert deadline_miss_rate(flows, completion) == pytest.approx(3 / 4)
+
+
+def test_deadline_miss_rate_ignores_flows_without_deadlines() -> None:
+    flows = _make_flows(short_count=2, long_count=2)
+    flows[0].options[DEADLINE_OPTION] = 0.1
+    completion = {flows[0].flow_id: 0.05, flows[1].flow_id: 99.0}
+    assert deadline_miss_rate(flows, completion) == 0.0
+
+
+def test_deadline_miss_rate_empty_when_no_deadlines() -> None:
+    flows = _make_flows()
+    assert deadline_miss_rate(flows, {}) == 0.0

@@ -1,0 +1,185 @@
+"""Tests for D2TCP: deadline-aware gamma correction on top of DCTCP."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net.queues import EcnQueue
+from repro.sim.engine import Simulator
+from repro.sim.units import megabits_per_second, microseconds
+from repro.topology.simple import TwoHostTopology
+from repro.transport.base import TcpConfig
+from repro.transport.d2tcp import (
+    MAX_DEADLINE_FACTOR,
+    MIN_DEADLINE_FACTOR,
+    D2tcpController,
+    D2tcpReceiver,
+    D2tcpSender,
+)
+from repro.transport.dctcp import DctcpReceiver
+
+
+def _ecn_topology(simulator: Simulator, threshold: int = 10) -> TwoHostTopology:
+    return TwoHostTopology(
+        simulator,
+        link_rate_bps=megabits_per_second(100),
+        link_delay_s=microseconds(50),
+        queue_factory=lambda: EcnQueue(capacity_packets=100, marking_threshold=threshold),
+    )
+
+
+def _run_d2tcp_transfer(size: int, deadline_s=None, threshold: int = 10):
+    simulator = Simulator()
+    topology = _ecn_topology(simulator, threshold)
+    config = TcpConfig(mss=1000, initial_cwnd_segments=2)
+    receiver = D2tcpReceiver(
+        simulator, topology.receiver, local_port=5001, expected_bytes=size
+    )
+    sender = D2tcpSender(
+        simulator, topology.sender, topology.receiver.address, 5001, size,
+        config=config, deadline_s=deadline_s,
+    )
+    sender.start()
+    simulator.run(until=30.0)
+    return sender, receiver
+
+
+# ---------------------------------------------------------------------------
+# Construction
+# ---------------------------------------------------------------------------
+
+
+def test_d2tcp_sender_forces_ecn_and_uses_d2tcp_controller() -> None:
+    simulator = Simulator()
+    topology = TwoHostTopology(simulator)
+    sender = D2tcpSender(simulator, topology.sender, topology.receiver.address, 5001, 10_000)
+    assert sender.config.ecn_enabled
+    assert isinstance(sender.cc, D2tcpController)
+
+
+def test_d2tcp_receiver_is_the_dctcp_receiver() -> None:
+    # D2TCP only changes the sender's window policy; the receiver behaviour
+    # (echoing CE marks) is exactly DCTCP's.
+    assert D2tcpReceiver is DctcpReceiver
+
+
+def test_negative_deadline_rejected() -> None:
+    simulator = Simulator()
+    topology = TwoHostTopology(simulator)
+    with pytest.raises(ValueError):
+        D2tcpSender(
+            simulator, topology.sender, topology.receiver.address, 5001, 10_000,
+            deadline_s=-1.0,
+        )
+
+
+def test_controller_rejects_bad_gain() -> None:
+    with pytest.raises(ValueError):
+        D2tcpController(gain=0.0)
+    with pytest.raises(ValueError):
+        D2tcpController(gain=1.5)
+
+
+# ---------------------------------------------------------------------------
+# Deadline factor computation
+# ---------------------------------------------------------------------------
+
+
+class _FakeEstimator:
+    def __init__(self, srtt: float) -> None:
+        self.smoothed_rtt = srtt
+
+
+class _FakeSender:
+    """Just enough sender surface for D2tcpController._deadline_factor."""
+
+    def __init__(self, total_bytes, snd_una, cwnd, srtt, now, deadline_time) -> None:
+        self.total_bytes = total_bytes
+        self.snd_una = snd_una
+        self.cwnd = cwnd
+        self.mss = 1000
+        self.rto_estimator = _FakeEstimator(srtt)
+        self.deadline_time = deadline_time
+        self.simulator = type("S", (), {"now": now})()
+
+
+def test_deadline_factor_defaults_to_one_without_deadline() -> None:
+    controller = D2tcpController()
+    sender = _FakeSender(100_000, 0, 10_000, 0.001, 0.0, deadline_time=None)
+    assert controller._deadline_factor(sender) == 1.0
+
+
+def test_deadline_factor_near_deadline_exceeds_one() -> None:
+    controller = D2tcpController()
+    # Needs ~10 RTTs (100 kB at 10 kB per RTT) but only has 2 RTTs of slack.
+    sender = _FakeSender(100_000, 0, 10_000, 0.001, now=0.0, deadline_time=0.002)
+    factor = controller._deadline_factor(sender)
+    assert factor > 1.0
+    assert factor <= MAX_DEADLINE_FACTOR
+
+
+def test_deadline_factor_far_deadline_below_one() -> None:
+    controller = D2tcpController()
+    # Needs ~10 RTTs but has 1000 RTTs of slack.
+    sender = _FakeSender(100_000, 0, 10_000, 0.001, now=0.0, deadline_time=1.0)
+    factor = controller._deadline_factor(sender)
+    assert factor < 1.0
+    assert factor >= MIN_DEADLINE_FACTOR
+
+
+def test_deadline_factor_clamped_when_deadline_already_missed() -> None:
+    controller = D2tcpController()
+    sender = _FakeSender(100_000, 0, 10_000, 0.001, now=5.0, deadline_time=1.0)
+    assert controller._deadline_factor(sender) == MAX_DEADLINE_FACTOR
+
+
+def test_deadline_factor_one_when_everything_acked() -> None:
+    controller = D2tcpController()
+    sender = _FakeSender(100_000, 100_000, 10_000, 0.001, now=0.0, deadline_time=0.5)
+    assert controller._deadline_factor(sender) == 1.0
+
+
+# ---------------------------------------------------------------------------
+# End-to-end behaviour
+# ---------------------------------------------------------------------------
+
+
+def test_transfer_without_deadline_behaves_like_dctcp() -> None:
+    sender, receiver = _run_d2tcp_transfer(600_000, deadline_s=None)
+    assert receiver.complete
+    assert sender.stats.ecn_echoes_received > 0
+    assert sender.alpha > 0.0
+    # Without a deadline the gamma exponent stays at DCTCP's implicit 1.0.
+    assert sender.deadline_factor == 1.0
+
+
+def test_transfer_with_loose_deadline_completes_in_time() -> None:
+    sender, receiver = _run_d2tcp_transfer(400_000, deadline_s=10.0)
+    assert receiver.complete
+    assert not sender.deadline_missed()
+    assert sender.deadline_time is not None
+
+
+def test_transfer_with_impossible_deadline_reports_miss() -> None:
+    # 600 kB over a 100 Mbps link needs ~48 ms at line rate; a 1 ms deadline
+    # cannot be met no matter how aggressive the sender is.
+    sender, receiver = _run_d2tcp_transfer(600_000, deadline_s=0.001)
+    assert receiver.complete
+    assert sender.deadline_missed()
+
+
+def test_tight_deadline_keeps_window_larger_than_loose_deadline() -> None:
+    """Gamma correction: near-deadline flows back off less on ECN marks."""
+    results = {}
+    for label, deadline in (("tight", 0.02), ("loose", 5.0)):
+        sender, receiver = _run_d2tcp_transfer(500_000, deadline_s=deadline, threshold=5)
+        assert receiver.complete
+        results[label] = sender
+    tight = results["tight"]
+    loose = results["loose"]
+    # Both senders saw congestion; the tight-deadline one must not have been
+    # penalised with a larger exponent than the loose one.
+    if tight.stats.ecn_echoes_received and loose.stats.ecn_echoes_received:
+        assert tight.deadline_factor >= loose.deadline_factor
+    # And the tight-deadline flow should not finish later than the loose one.
+    assert tight.stats.completion_time <= loose.stats.completion_time * 1.25

@@ -1,0 +1,121 @@
+"""Tests for DCTCP: ECN marking, echoing and alpha-proportional back-off."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net.queues import EcnQueue
+from repro.sim.engine import Simulator
+from repro.sim.units import megabits_per_second, microseconds
+from repro.topology.simple import DumbbellTopology, TwoHostTopology
+from repro.transport.base import TcpConfig
+from repro.transport.cc.dctcp_alpha import DctcpController
+from repro.transport.dctcp import DctcpReceiver, DctcpSender
+
+
+def _ecn_queue_factory(threshold: int = 10, capacity: int = 100):
+    return lambda: EcnQueue(capacity_packets=capacity, marking_threshold=threshold)
+
+
+def _run_dctcp_transfer(size: int, threshold: int = 10, capacity: int = 100):
+    simulator = Simulator()
+    topology = TwoHostTopology(
+        simulator,
+        link_rate_bps=megabits_per_second(100),
+        link_delay_s=microseconds(50),
+        queue_factory=_ecn_queue_factory(threshold, capacity),
+    )
+    config = TcpConfig(mss=1000, initial_cwnd_segments=2)
+    receiver = DctcpReceiver(simulator, topology.receiver, local_port=5001,
+                             expected_bytes=size)
+    sender = DctcpSender(simulator, topology.sender, topology.receiver.address, 5001,
+                         size, config=config)
+    sender.start()
+    simulator.run(until=30.0)
+    return sender, receiver, topology
+
+
+def test_dctcp_sender_forces_ecn_capability() -> None:
+    simulator = Simulator()
+    topology = TwoHostTopology(simulator)
+    sender = DctcpSender(simulator, topology.sender, topology.receiver.address, 5001, 10_000)
+    assert sender.config.ecn_enabled
+    assert isinstance(sender.cc, DctcpController)
+
+
+def test_transfer_completes_and_receives_ecn_feedback() -> None:
+    sender, receiver, topology = _run_dctcp_transfer(600_000, threshold=10)
+    assert receiver.complete
+    # The long transfer must have pushed the queue past the marking threshold,
+    # so ECN echoes were received and alpha moved away from zero.
+    assert sender.stats.ecn_echoes_received > 0
+    assert sender.alpha > 0.0
+
+
+def test_ecn_keeps_queue_short_relative_to_droptail_capacity() -> None:
+    # With a marking threshold of 10 packets the DCTCP sender should almost
+    # never overflow a 100-packet buffer: losses stay at (or very near) zero.
+    sender, receiver, _ = _run_dctcp_transfer(600_000, threshold=10, capacity=100)
+    assert receiver.complete
+    assert sender.stats.rto_events == 0
+    assert sender.stats.retransmitted_packets <= 2
+
+
+def test_alpha_stays_zero_without_congestion() -> None:
+    # A short transfer never exceeds the marking threshold.
+    sender, receiver, _ = _run_dctcp_transfer(10_000, threshold=50)
+    assert receiver.complete
+    assert sender.alpha == 0.0
+    assert sender.stats.ecn_echoes_received == 0
+
+
+def test_dctcp_controller_window_reduction_is_proportional() -> None:
+    controller = DctcpController(gain=1.0)  # gain 1: alpha equals last fraction
+
+    class _FakeSender:
+        mss = 1000
+        cwnd = 100_000.0
+        ssthresh = 1_000_000.0
+        snd_una = 100_000
+        snd_nxt = 100_000
+
+    sender = _FakeSender()
+    controller._window_end = 100_000
+    # Half of the acknowledged bytes in this window carried ECN echoes; the
+    # window is not over yet after the first ACK (snd_una below window_end).
+    sender.snd_una = 50_000
+    controller.on_ecn_feedback(sender, 25_000, marked=False)
+    sender.snd_una = 100_000
+    controller.on_ecn_feedback(sender, 25_000, marked=True)
+    assert controller.alpha == pytest.approx(0.5)
+    # cwnd reduced by alpha/2 = 25 %.
+    assert sender.cwnd == pytest.approx(75_000.0)
+
+
+def test_dctcp_controller_gain_validation() -> None:
+    with pytest.raises(ValueError):
+        DctcpController(gain=0.0)
+    with pytest.raises(ValueError):
+        DctcpController(gain=1.5)
+
+
+def test_dctcp_coexists_with_competitors_on_dumbbell() -> None:
+    simulator = Simulator()
+    topology = DumbbellTopology(
+        simulator,
+        pairs=2,
+        bottleneck_rate_bps=megabits_per_second(50),
+        queue_factory=_ecn_queue_factory(threshold=10, capacity=200),
+    )
+    size = 300_000
+    receivers, senders = [], []
+    for index, (source, sink) in enumerate(zip(topology.senders, topology.receivers)):
+        receiver = DctcpReceiver(simulator, sink, local_port=5001, expected_bytes=size)
+        sender = DctcpSender(simulator, source, sink.address, 5001, size,
+                             config=TcpConfig(mss=1000))
+        sender.start()
+        receivers.append(receiver)
+        senders.append(sender)
+    simulator.run(until=30.0)
+    assert all(receiver.complete for receiver in receivers)
+    assert all(sender.stats.rto_events == 0 for sender in senders)

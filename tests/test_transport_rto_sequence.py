@@ -1,0 +1,142 @@
+"""Unit tests for RTT/RTO estimation and the receive buffer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.transport.rto import RtoEstimator
+from repro.transport.sequence import ReceiveBuffer
+
+
+class TestRtoEstimator:
+    def test_initial_rto_used_before_samples(self) -> None:
+        estimator = RtoEstimator(min_rto=0.2, initial_rto=1.0)
+        assert estimator.rto == 1.0
+        assert estimator.smoothed_rtt == 1.0
+
+    def test_first_sample_initialises_srtt(self) -> None:
+        estimator = RtoEstimator(min_rto=0.0001)
+        estimator.add_sample(0.010)
+        assert estimator.srtt == pytest.approx(0.010)
+        assert estimator.rttvar == pytest.approx(0.005)
+        # RTO = srtt + 4 * rttvar = 30 ms
+        assert estimator.rto == pytest.approx(0.030)
+
+    def test_min_rto_clamp_dominates_small_rtts(self) -> None:
+        # The data-centre pathology: microsecond RTTs but a 200 ms floor.
+        estimator = RtoEstimator(min_rto=0.2)
+        for _ in range(20):
+            estimator.add_sample(0.0005)
+        assert estimator.rto == 0.2
+
+    def test_smoothing_converges_towards_stable_rtt(self) -> None:
+        estimator = RtoEstimator(min_rto=0.0001)
+        for _ in range(100):
+            estimator.add_sample(0.02)
+        assert estimator.srtt == pytest.approx(0.02, rel=1e-3)
+        assert estimator.rttvar == pytest.approx(0.0, abs=1e-3)
+
+    def test_backoff_doubles_and_sample_resets(self) -> None:
+        estimator = RtoEstimator(min_rto=0.0001, max_rto=60.0)
+        estimator.add_sample(0.01)
+        base = estimator.rto
+        estimator.backoff()
+        assert estimator.rto == pytest.approx(2 * base)
+        estimator.backoff()
+        assert estimator.rto == pytest.approx(4 * base)
+        # A fresh measurement cancels the backoff (RFC 6298 §5.7); the RTO
+        # returns to the un-backed-off scale (the smoothing tightens it a bit).
+        estimator.add_sample(0.01)
+        assert estimator.backoff_factor == 1.0
+        assert estimator.rto <= base
+
+    def test_max_rto_clamp(self) -> None:
+        estimator = RtoEstimator(min_rto=0.2, max_rto=1.0)
+        for _ in range(10):
+            estimator.backoff()
+        assert estimator.rto == 1.0
+
+    def test_min_rtt_tracked(self) -> None:
+        estimator = RtoEstimator()
+        estimator.add_sample(0.03)
+        estimator.add_sample(0.01)
+        estimator.add_sample(0.05)
+        assert estimator.min_rtt == pytest.approx(0.01)
+
+    def test_invalid_parameters_and_samples(self) -> None:
+        with pytest.raises(ValueError):
+            RtoEstimator(min_rto=0.0)
+        with pytest.raises(ValueError):
+            RtoEstimator(min_rto=1.0, max_rto=0.5)
+        estimator = RtoEstimator()
+        with pytest.raises(ValueError):
+            estimator.add_sample(0.0)
+
+
+class TestReceiveBuffer:
+    def test_in_order_delivery_advances_frontier(self) -> None:
+        buffer = ReceiveBuffer()
+        assert buffer.add(0, 1000) == 1000
+        assert buffer.add(1000, 1000) == 1000
+        assert buffer.rcv_nxt == 2000
+        assert buffer.buffered_out_of_order_bytes == 0
+
+    def test_out_of_order_held_then_absorbed(self) -> None:
+        buffer = ReceiveBuffer()
+        assert buffer.add(1000, 1000) == 0
+        assert buffer.rcv_nxt == 0
+        assert buffer.buffered_out_of_order_bytes == 1000
+        assert buffer.out_of_order_arrivals == 1
+        # Filling the gap releases both segments at once.
+        assert buffer.add(0, 1000) == 2000
+        assert buffer.rcv_nxt == 2000
+        assert buffer.buffered_out_of_order_bytes == 0
+
+    def test_duplicate_data_counted_not_readded(self) -> None:
+        buffer = ReceiveBuffer()
+        buffer.add(0, 1000)
+        assert buffer.add(0, 1000) == 0
+        assert buffer.duplicate_bytes == 1000
+        assert buffer.rcv_nxt == 1000
+
+    def test_partial_overlap_with_frontier(self) -> None:
+        buffer = ReceiveBuffer()
+        buffer.add(0, 1000)
+        advanced = buffer.add(500, 1000)
+        assert advanced == 500
+        assert buffer.rcv_nxt == 1500
+        assert buffer.duplicate_bytes == 500
+
+    def test_multiple_gaps_and_missing_ranges(self) -> None:
+        buffer = ReceiveBuffer()
+        buffer.add(2000, 1000)
+        buffer.add(4000, 1000)
+        assert buffer.missing_ranges == [(0, 2000), (3000, 4000)]
+        buffer.add(0, 2000)
+        assert buffer.rcv_nxt == 3000
+        buffer.add(3000, 1000)
+        assert buffer.rcv_nxt == 5000
+        assert buffer.missing_ranges == []
+
+    def test_has_received(self) -> None:
+        buffer = ReceiveBuffer()
+        buffer.add(0, 1000)
+        buffer.add(2000, 500)
+        assert buffer.has_received(0)
+        assert buffer.has_received(999)
+        assert not buffer.has_received(1500)
+        assert buffer.has_received(2200)
+        assert not buffer.has_received(2500)
+
+    def test_zero_or_negative_length_ignored(self) -> None:
+        buffer = ReceiveBuffer()
+        assert buffer.add(0, 0) == 0
+        assert buffer.add(10, -5) == 0
+        assert buffer.rcv_nxt == 0
+
+    def test_total_bytes_received_counts_everything(self) -> None:
+        buffer = ReceiveBuffer()
+        buffer.add(0, 100)
+        buffer.add(0, 100)
+        buffer.add(500, 100)
+        assert buffer.total_bytes_received == 300

@@ -1,0 +1,91 @@
+"""Tests for the MPTCP subflow schedulers (round-robin and lowest-RTT)."""
+
+from __future__ import annotations
+
+from repro.transport.scheduler import LowestRttScheduler, RoundRobinScheduler
+
+
+class _FakeEstimator:
+    def __init__(self, srtt: float) -> None:
+        self.smoothed_rtt = srtt
+
+
+class _FakeSubflow:
+    """Only the attributes the schedulers look at."""
+
+    def __init__(self, subflow_id: int, srtt: float) -> None:
+        self.subflow_id = subflow_id
+        self.rto_estimator = _FakeEstimator(srtt)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"subflow({self.subflow_id})"
+
+
+def _subflows(*srtts: float):
+    return [_FakeSubflow(index, srtt) for index, srtt in enumerate(srtts)]
+
+
+# ---------------------------------------------------------------------------
+# Round robin
+# ---------------------------------------------------------------------------
+
+
+def test_round_robin_empty_list() -> None:
+    assert RoundRobinScheduler().order([]) == []
+
+
+def test_round_robin_rotates_start_point_each_call() -> None:
+    scheduler = RoundRobinScheduler()
+    subflows = _subflows(0.001, 0.002, 0.003)
+    first = scheduler.order(subflows)
+    second = scheduler.order(subflows)
+    third = scheduler.order(subflows)
+    fourth = scheduler.order(subflows)
+    assert [s.subflow_id for s in first] == [0, 1, 2]
+    assert [s.subflow_id for s in second] == [1, 2, 0]
+    assert [s.subflow_id for s in third] == [2, 0, 1]
+    # Wraps back around after a full cycle.
+    assert [s.subflow_id for s in fourth] == [0, 1, 2]
+
+
+def test_round_robin_preserves_membership() -> None:
+    scheduler = RoundRobinScheduler()
+    subflows = _subflows(0.001, 0.002, 0.003, 0.004)
+    for _ in range(7):
+        ordered = scheduler.order(subflows)
+        assert sorted(s.subflow_id for s in ordered) == [0, 1, 2, 3]
+
+
+def test_round_robin_copes_with_changing_population() -> None:
+    scheduler = RoundRobinScheduler()
+    scheduler.order(_subflows(0.001, 0.002, 0.003))
+    # The population shrinks between calls (e.g. scatter flow deactivated);
+    # the scheduler must still return a valid permutation.
+    shrunk = _subflows(0.001, 0.002)
+    ordered = scheduler.order(shrunk)
+    assert sorted(s.subflow_id for s in ordered) == [0, 1]
+
+
+# ---------------------------------------------------------------------------
+# Lowest RTT
+# ---------------------------------------------------------------------------
+
+
+def test_lowest_rtt_orders_by_smoothed_rtt() -> None:
+    scheduler = LowestRttScheduler()
+    subflows = _subflows(0.004, 0.001, 0.003, 0.002)
+    ordered = scheduler.order(subflows)
+    assert [s.subflow_id for s in ordered] == [1, 3, 2, 0]
+
+
+def test_lowest_rtt_is_stable_for_equal_rtts() -> None:
+    scheduler = LowestRttScheduler()
+    subflows = _subflows(0.002, 0.002, 0.001)
+    ordered = scheduler.order(subflows)
+    assert [s.subflow_id for s in ordered] == [2, 0, 1]
+
+
+def test_scheduler_names_are_distinct() -> None:
+    assert RoundRobinScheduler.name == "round_robin"
+    assert LowestRttScheduler.name == "lowest_rtt"
+    assert RoundRobinScheduler.name != LowestRttScheduler.name
