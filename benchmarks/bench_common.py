@@ -21,8 +21,30 @@ from typing import Dict
 from repro.experiments.config import ExperimentConfig
 from repro.sim.units import megabits_per_second, megabytes
 
-#: Which scale to run: "quick" (default), "large", or "paper".
+#: Which scale to run: "tiny" (smoke tests), "quick" (default), "large", or "paper".
 SCALE = os.environ.get("REPRO_BENCH_SCALE", "quick").lower()
+
+
+def _tiny_config() -> ExperimentConfig:
+    """16-host fabric and a handful of flows; sub-second per run.
+
+    Exists for the smoke tests in ``tests/test_benchmarks_smoke.py``: the
+    entry point of every benchmark runs at this scale under plain pytest so
+    the sweep plumbing cannot rot unnoticed.  Too small for any of the
+    paper's qualitative claims to hold — never assert claims at this scale.
+    """
+    return ExperimentConfig(
+        fattree_k=4,
+        hosts_per_edge=2,
+        link_rate_bps=megabits_per_second(100),
+        arrival_window_s=0.05,
+        drain_time_s=0.3,
+        short_flow_rate_per_sender=6.0,
+        long_flow_size_bytes=200_000,
+        max_short_flows=8,
+        initial_cwnd_segments=2,
+        seed=20150817,
+    )
 
 
 def _quick_config() -> ExperimentConfig:
@@ -65,11 +87,18 @@ def _paper_config() -> ExperimentConfig:
 
 def base_config() -> ExperimentConfig:
     """The benchmark configuration for the selected scale."""
+    if SCALE == "tiny":
+        return _tiny_config()
     if SCALE in ("large", "big"):
         return _large_config()
     if SCALE == "paper":
         return _paper_config()
     return _quick_config()
+
+
+def tiny_config() -> ExperimentConfig:
+    """The smoke-test configuration, regardless of the selected scale."""
+    return _tiny_config()
 
 
 def small_config() -> ExperimentConfig:

@@ -8,13 +8,21 @@ RTO statistics, and renders an ASCII CDF of the short-flow completion times
 at the highest load so the tail difference is visible without any plotting
 stack.
 
-Run with:  python examples/load_sweep.py
+Run with:  python examples/load_sweep.py [--workers N]
+
+``--workers N`` fans the sweep's (protocol, load) points out over a process
+pool; the printed tables are identical for any worker count because every
+point is fully determined by its config and results are merged in point
+order, never completion order.
 """
 
 from __future__ import annotations
 
+import argparse
+
 from repro.experiments import ExperimentConfig
 from repro.experiments.loadsweep import load_sweep_rows, points_by_protocol, run_load_sweep
+from repro.experiments.parallel import resolve_workers
 from repro.metrics.export import ascii_cdf
 from repro.metrics.reporting import render_table
 from repro.sim.units import megabits_per_second
@@ -24,6 +32,14 @@ LOAD_FACTORS = (0.5, 1.0, 2.0)
 
 
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workers", type=int, default=1,
+                        help="process-pool size (1 = serial, 0 = one per CPU)")
+    args = parser.parse_args()
+    try:
+        resolve_workers(args.workers)
+    except ValueError as exc:
+        parser.error(str(exc))
     config = ExperimentConfig(
         fattree_k=4,
         hosts_per_edge=4,
@@ -43,6 +59,7 @@ def main() -> None:
         protocols=(PROTOCOL_MPTCP, PROTOCOL_MMPTCP),
         load_factors=LOAD_FACTORS,
         num_subflows=8,
+        workers=args.workers,
     )
 
     rows = load_sweep_rows(points)

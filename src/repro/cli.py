@@ -5,7 +5,7 @@ Exposes the experiment harness without writing any Python::
     repro-mmptcp run --protocol mmptcp --subflows 8 --k 4 --hosts-per-edge 8
     repro-mmptcp figure1a --scale quick
     repro-mmptcp section3 --scale quick --export-dir results/
-    repro-mmptcp loadsweep --factors 0.5 1.0 2.0
+    repro-mmptcp loadsweep --factors 0.5 1.0 2.0 --workers 4
     repro-mmptcp coexistence
     repro-mmptcp incast --fan-ins 8 16 32 --topologies fattree dualhomed
     repro-mmptcp deadlines --slack 2.0
@@ -159,7 +159,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
 def _cmd_figure1a(args: argparse.Namespace) -> int:
     config = _scaled_config(args.scale, args.seed)
     counts = tuple(args.subflow_counts)
-    rows = figure1a_series(config, counts)
+    rows = figure1a_series(config, counts, workers=args.workers)
     table_rows = [
         {
             "subflows": row.num_subflows,
@@ -208,6 +208,7 @@ def _cmd_loadsweep(args: argparse.Namespace) -> int:
         protocols=tuple(args.protocols),
         load_factors=tuple(args.factors),
         num_subflows=args.subflows,
+        workers=args.workers,
     )
     rows = load_sweep_rows(points)
     print("Load sweep — short-flow FCT vs offered load")
@@ -251,6 +252,7 @@ def _cmd_incast(args: argparse.Namespace) -> int:
         fan_ins=tuple(args.fan_ins),
         response_bytes=args.response_kb * 1000,
         topologies=tuple(args.topologies),
+        workers=args.workers,
     )
     rows = incast_rows(points)
     print("Incast — synchronised fan-in bursts")
@@ -279,13 +281,28 @@ def _cmd_deadlines(args: argparse.Namespace) -> int:
 # ---------------------------------------------------------------------------
 
 
-def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
+def _workers_count(text: str) -> int:
+    value = int(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError(
+            f"--workers must be >= 0 (1 = serial, 0 = one per CPU), got {value}"
+        )
+    return value
+
+
+def _add_common_arguments(parser: argparse.ArgumentParser, workers: bool = False) -> None:
     parser.add_argument("--scale", choices=SCALES, default="quick",
                         help="experiment scale (quick/large/paper)")
     parser.add_argument("--seed", type=int, default=20150817, help="random seed")
     parser.add_argument("--subflows", type=int, default=8, help="MPTCP/MMPTCP subflow count")
     parser.add_argument("--export-dir", default=None,
                         help="directory for CSV/JSON exports (omit to skip)")
+    if workers:
+        # Only the sub-commands that actually fan points out accept the
+        # flag; accepting-and-ignoring it elsewhere would mislead.
+        parser.add_argument("--workers", type=_workers_count, default=1,
+                            help="process-pool size (1 = serial, 0 = one per "
+                                 "CPU; results are identical for any value)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -313,7 +330,7 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.set_defaults(handler=_cmd_run)
 
     fig1a = subparsers.add_parser("figure1a", help="regenerate Figure 1(a)")
-    _add_common_arguments(fig1a)
+    _add_common_arguments(fig1a, workers=True)
     fig1a.add_argument("--subflow-counts", type=int, nargs="+", default=[1, 2, 4, 8])
     fig1a.set_defaults(handler=_cmd_figure1a)
 
@@ -330,7 +347,7 @@ def build_parser() -> argparse.ArgumentParser:
     section3.set_defaults(handler=_cmd_section3)
 
     loadsweep = subparsers.add_parser("loadsweep", help="sweep the offered load")
-    _add_common_arguments(loadsweep)
+    _add_common_arguments(loadsweep, workers=True)
     loadsweep.add_argument("--factors", type=float, nargs="+", default=[0.5, 1.0, 1.5, 2.0])
     loadsweep.add_argument("--protocols", nargs="+", default=[PROTOCOL_MPTCP, PROTOCOL_MMPTCP],
                            choices=ALL_PROTOCOLS)
@@ -352,7 +369,7 @@ def build_parser() -> argparse.ArgumentParser:
     hotspot.set_defaults(handler=_cmd_hotspot)
 
     incast = subparsers.add_parser("incast", help="run synchronised fan-in (incast) sweeps")
-    _add_common_arguments(incast)
+    _add_common_arguments(incast, workers=True)
     incast.add_argument("--fan-ins", type=int, nargs="+", default=[8, 16, 32])
     incast.add_argument("--protocols", nargs="+", default=["tcp", "mptcp", "mmptcp"],
                         choices=ALL_PROTOCOLS)

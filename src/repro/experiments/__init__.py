@@ -42,6 +42,13 @@ from repro.experiments.figure1 import (
     figure1c_scatter,
     scatter_points,
 )
+from repro.experiments.parallel import (
+    RunSpec,
+    SweepRunner,
+    run_specs,
+    seeded_replications,
+    specs_from_configs,
+)
 from repro.experiments.runner import (
     ExperimentResult,
     build_topology,
@@ -85,6 +92,11 @@ __all__ = [
     "figure1b_scatter",
     "figure1c_scatter",
     "scatter_points",
+    "RunSpec",
+    "SweepRunner",
+    "run_specs",
+    "seeded_replications",
+    "specs_from_configs",
     "ExperimentResult",
     "build_topology",
     "build_workload",

@@ -14,9 +14,10 @@ data structures which the benchmark harnesses print and assert on.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.experiments.config import ExperimentConfig
+from repro.experiments.parallel import RunSpec, SweepRunner
 from repro.experiments.runner import ExperimentResult, run_experiment
 from repro.metrics.stats import DistributionSummary
 from repro.traffic.flowspec import PROTOCOL_MMPTCP, PROTOCOL_MPTCP
@@ -48,12 +49,22 @@ class Figure1aRow:
 def figure1a_series(
     base_config: ExperimentConfig,
     subflow_counts: Sequence[int] = FIGURE1A_SUBFLOW_COUNTS,
+    workers: Optional[int] = 1,
 ) -> List[Figure1aRow]:
-    """Mean/std of MPTCP short-flow FCT as a function of the subflow count."""
+    """Mean/std of MPTCP short-flow FCT as a function of the subflow count.
+
+    ``workers`` fans the per-count runs out over a process pool; the rows
+    are identical for any worker count because each run is fully determined
+    by its own config (all counts share the base seed, keeping the paper's
+    paired-workload comparison).
+    """
+    specs = [
+        RunSpec(index=index, config=base_config.with_protocol(PROTOCOL_MPTCP, num_subflows=count))
+        for index, count in enumerate(subflow_counts)
+    ]
+    results = SweepRunner(workers).run(specs)
     rows: List[Figure1aRow] = []
-    for count in subflow_counts:
-        config = base_config.with_protocol(PROTOCOL_MPTCP, num_subflows=count)
-        result = run_experiment(config)
+    for count, result in zip(subflow_counts, results):
         metrics = result.metrics
         rows.append(
             Figure1aRow(

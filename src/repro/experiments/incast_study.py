@@ -19,7 +19,8 @@ from repro.experiments.config import (
     TOPOLOGY_FATTREE,
     ExperimentConfig,
 )
-from repro.experiments.runner import ExperimentResult, build_topology, run_experiment
+from repro.experiments.parallel import RunSpec, SweepRunner
+from repro.experiments.runner import ExperimentResult, build_topology
 from repro.metrics.stats import DistributionSummary
 from repro.sim.engine import Simulator
 from repro.sim.randomness import RandomStreams
@@ -91,32 +92,52 @@ def run_incast_sweep(
     fan_ins: Sequence[int] = DEFAULT_FAN_INS,
     response_bytes: int = kilobytes(70),
     topologies: Sequence[str] = (TOPOLOGY_FATTREE,),
+    workers: Optional[int] = 1,
 ) -> List[IncastPoint]:
-    """Run the synchronised burst for every (topology, protocol, fan-in) combination."""
+    """Run the synchronised burst for every (topology, protocol, fan-in) combination.
+
+    ``workers`` fans the combinations out over a process pool.  The incast
+    workload is rebuilt inside each worker from ``(config, fan_in, ...)`` —
+    a deterministic function of the seed — so the sweep's output is
+    identical for any worker count and ordered exactly as the nested
+    (topology, fan-in, protocol) loops visit it.
+    """
     if not protocols or not fan_ins or not topologies:
         raise ValueError("need at least one protocol, one fan-in and one topology")
-    points: List[IncastPoint] = []
+    axes: List[tuple] = []
+    specs: List[RunSpec] = []
     for topology_kind in topologies:
         for fan_in in fan_ins:
             for protocol in protocols:
                 config = base_config.with_updates(topology=topology_kind, protocol=protocol)
-                workload = build_incast_workload_for(config, fan_in, response_bytes, protocol)
-                result = run_experiment(config, workload=workload)
-                metrics = result.metrics
-                shorts = metrics.short_flows
-                points.append(
-                    IncastPoint(
-                        protocol=protocol,
-                        topology=topology_kind,
-                        fan_in=fan_in,
-                        response_bytes=response_bytes,
-                        fct_summary=metrics.short_flow_fct_summary(),
-                        completion_rate=metrics.short_flow_completion_rate(),
-                        rto_incidence=metrics.rto_incidence(),
-                        total_rtos=sum(record.rto_events for record in shorts),
-                        result=result,
+                specs.append(
+                    RunSpec(
+                        index=len(specs),
+                        config=config,
+                        workload_factory=build_incast_workload_for,
+                        workload_args=(fan_in, response_bytes, protocol),
                     )
                 )
+                axes.append((topology_kind, fan_in, protocol))
+    results = SweepRunner(workers).run(specs)
+
+    points: List[IncastPoint] = []
+    for (topology_kind, fan_in, protocol), result in zip(axes, results):
+        metrics = result.metrics
+        shorts = metrics.short_flows
+        points.append(
+            IncastPoint(
+                protocol=protocol,
+                topology=topology_kind,
+                fan_in=fan_in,
+                response_bytes=response_bytes,
+                fct_summary=metrics.short_flow_fct_summary(),
+                completion_rate=metrics.short_flow_completion_rate(),
+                rto_incidence=metrics.rto_incidence(),
+                total_rtos=sum(record.rto_events for record in shorts),
+                result=result,
+            )
+        )
     return points
 
 
@@ -146,6 +167,7 @@ def compare_multihoming(
     fan_in: int = 24,
     response_bytes: int = kilobytes(70),
     protocol: str = PROTOCOL_MMPTCP,
+    workers: Optional[int] = 1,
 ) -> Dict[str, IncastPoint]:
     """The roadmap's multi-homing claim: single- vs dual-homed burst tolerance.
 
@@ -159,5 +181,6 @@ def compare_multihoming(
         fan_ins=(fan_in,),
         response_bytes=response_bytes,
         topologies=(TOPOLOGY_FATTREE, TOPOLOGY_DUALHOMED),
+        workers=workers,
     )
     return {point.topology: point for point in points}

@@ -16,7 +16,8 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from repro.experiments.config import ExperimentConfig
-from repro.experiments.runner import ExperimentResult, run_experiment
+from repro.experiments.parallel import RunSpec, SweepRunner
+from repro.experiments.runner import ExperimentResult
 from repro.metrics.stats import DistributionSummary
 from repro.traffic.flowspec import PROTOCOL_MMPTCP, PROTOCOL_MPTCP
 
@@ -54,40 +55,51 @@ def run_load_sweep(
     protocols: Sequence[str] = (PROTOCOL_MPTCP, PROTOCOL_MMPTCP),
     load_factors: Sequence[float] = DEFAULT_LOAD_FACTORS,
     num_subflows: Optional[int] = None,
+    workers: Optional[int] = 1,
 ) -> List[LoadPoint]:
     """Sweep the short-flow arrival rate for each protocol.
 
     Every point uses the same seed, so the permutation matrix and the long-
     flow background are identical across protocols at a given load factor;
     only the arrival rate (and the protocol under test) changes.
+
+    ``workers`` fans the (factor, protocol) points out over a process pool;
+    the returned list is ordered factor-major exactly as the serial sweep
+    produced it, whatever the worker count.
     """
     if not protocols:
         raise ValueError("need at least one protocol")
     if any(factor <= 0 for factor in load_factors):
         raise ValueError("load factors must be positive")
     subflows = num_subflows if num_subflows is not None else base_config.num_subflows
-    points: List[LoadPoint] = []
+    axes: List[tuple] = []
+    specs: List[RunSpec] = []
     for factor in load_factors:
         rate = base_config.short_flow_rate_per_sender * factor
         for protocol in protocols:
             config = base_config.with_protocol(protocol, subflows).with_updates(
                 short_flow_rate_per_sender=rate
             )
-            result = run_experiment(config)
-            metrics = result.metrics
-            points.append(
-                LoadPoint(
-                    protocol=protocol,
-                    load_factor=factor,
-                    arrival_rate_per_sender=rate,
-                    fct_summary=metrics.short_flow_fct_summary(),
-                    rto_incidence=metrics.rto_incidence(),
-                    completion_rate=metrics.short_flow_completion_rate(),
-                    tail_over_200ms=metrics.tail_fraction(200.0),
-                    mean_long_throughput_mbps=metrics.mean_long_flow_throughput_bps() / 1e6,
-                    result=result,
-                )
+            specs.append(RunSpec(index=len(specs), config=config))
+            axes.append((factor, rate, protocol))
+    results = SweepRunner(workers).run(specs)
+
+    points: List[LoadPoint] = []
+    for (factor, rate, protocol), result in zip(axes, results):
+        metrics = result.metrics
+        points.append(
+            LoadPoint(
+                protocol=protocol,
+                load_factor=factor,
+                arrival_rate_per_sender=rate,
+                fct_summary=metrics.short_flow_fct_summary(),
+                rto_incidence=metrics.rto_incidence(),
+                completion_rate=metrics.short_flow_completion_rate(),
+                tail_over_200ms=metrics.tail_fraction(200.0),
+                mean_long_throughput_mbps=metrics.mean_long_flow_throughput_bps() / 1e6,
+                result=result,
             )
+        )
     return points
 
 

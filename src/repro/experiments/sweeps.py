@@ -1,4 +1,11 @@
-"""Parameter-sweep helpers shared by the benchmark harnesses."""
+"""Parameter-sweep helpers shared by the benchmark harnesses.
+
+Sweeps are lists of independent points, so they parallelise trivially: pass
+``workers=N`` to fan the points out over a process pool (see
+:mod:`repro.experiments.parallel`).  Results come back ordered by point
+index whatever the worker count, so ``workers`` never changes a sweep's
+output — only its wall-clock time.
+"""
 
 from __future__ import annotations
 
@@ -6,7 +13,8 @@ from dataclasses import dataclass
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
 
 from repro.experiments.config import ExperimentConfig
-from repro.experiments.runner import ExperimentResult, run_experiment
+from repro.experiments.parallel import RunSpec, SweepRunner
+from repro.experiments.runner import ExperimentResult
 
 
 @dataclass
@@ -26,15 +34,23 @@ def sweep(
     base_config: ExperimentConfig,
     overrides_list: Sequence[Dict[str, Any]],
     progress: Optional[Callable[[int, Dict[str, Any]], None]] = None,
+    workers: Optional[int] = 1,
 ) -> List[SweepPoint]:
     """Run ``base_config`` once per override dictionary and collect the results."""
-    points: List[SweepPoint] = []
-    for index, overrides in enumerate(overrides_list):
+    specs = [
+        RunSpec(index=index, config=base_config.with_updates(**overrides), tag=dict(overrides))
+        for index, overrides in enumerate(overrides_list)
+    ]
+
+    def _progress(spec: RunSpec) -> None:
         if progress is not None:
-            progress(index, overrides)
-        config = base_config.with_updates(**overrides)
-        points.append(SweepPoint(overrides=dict(overrides), result=run_experiment(config)))
-    return points
+            progress(spec.index, dict(spec.tag or {}))
+
+    results = SweepRunner(workers).run(specs, progress=_progress)
+    return [
+        SweepPoint(overrides=dict(spec.tag or {}), result=result)
+        for spec, result in zip(specs, results)
+    ]
 
 
 def sweep_parameter(
@@ -42,6 +58,12 @@ def sweep_parameter(
     parameter: str,
     values: Iterable[Any],
     progress: Optional[Callable[[int, Dict[str, Any]], None]] = None,
+    workers: Optional[int] = 1,
 ) -> List[SweepPoint]:
     """Sweep a single configuration field over ``values``."""
-    return sweep(base_config, [{parameter: value} for value in values], progress=progress)
+    return sweep(
+        base_config,
+        [{parameter: value} for value in values],
+        progress=progress,
+        workers=workers,
+    )

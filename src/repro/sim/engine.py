@@ -11,13 +11,20 @@ timers, traffic generators — is built on these two operations:
 
 Events can be cancelled (used heavily by retransmission timers) and the run
 can be bounded by simulated time, wall-clock time or event count.
+
+The event type and the run loop are the hottest code in the whole library
+(every simulated packet costs several events), so both are written for
+speed: :class:`Event` is a hand-rolled ``__slots__`` class whose ``__lt__``
+compares the two hot fields directly instead of building tuples the way a
+``dataclass(order=True)`` does, and :meth:`Simulator.run` binds the queue
+and ``heappop`` to locals and only performs the horizon/budget checks the
+caller asked for.
 """
 
 from __future__ import annotations
 
-import heapq
 import time as _wallclock
-from dataclasses import dataclass, field
+from heapq import heappop, heappush
 from typing import Any, Callable, Optional
 
 
@@ -25,19 +32,62 @@ class SimulationError(RuntimeError):
     """Raised for invalid scheduler usage (e.g. scheduling in the past)."""
 
 
-@dataclass(order=True, slots=True)
 class Event:
     """A single scheduled callback.
 
     Events sort by ``(time, sequence)`` which gives FIFO ordering among
-    events scheduled for the same instant.
+    events scheduled for the same instant.  Sequence numbers are unique, so
+    comparison never falls through to the callback.
     """
 
-    time: float
-    sequence: int
-    callback: Callable[..., None] = field(compare=False)
-    args: tuple = field(compare=False, default=())
-    cancelled: bool = field(compare=False, default=False)
+    __slots__ = ("time", "sequence", "callback", "args", "cancelled")
+
+    def __init__(
+        self,
+        time: float,
+        sequence: int,
+        callback: Callable[..., None],
+        args: tuple = (),
+        cancelled: bool = False,
+    ) -> None:
+        self.time = time
+        self.sequence = sequence
+        self.callback = callback
+        self.args = args
+        self.cancelled = cancelled
+
+    def __lt__(self, other: "Event") -> bool:
+        t = self.time
+        o = other.time
+        if t < o:
+            return True
+        if t > o:
+            return False
+        return self.sequence < other.sequence
+
+    def __le__(self, other: "Event") -> bool:
+        return not other.__lt__(self)
+
+    def __gt__(self, other: "Event") -> bool:
+        return other.__lt__(self)
+
+    def __ge__(self, other: "Event") -> bool:
+        return not self.__lt__(other)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Event):
+            return NotImplemented
+        return self.time == other.time and self.sequence == other.sequence
+
+    def __hash__(self) -> int:
+        return hash((self.time, self.sequence))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Event(time={self.time!r}, sequence={self.sequence!r}, "
+            f"callback={self.callback!r}, args={self.args!r}, "
+            f"cancelled={self.cancelled!r})"
+        )
 
     def cancel(self) -> None:
         """Mark the event so the engine skips it when it is popped."""
@@ -76,7 +126,11 @@ class Simulator:
         """Schedule ``callback(*args)`` to run ``delay`` seconds from now."""
         if delay < 0:
             raise SimulationError(f"cannot schedule with negative delay {delay!r}")
-        return self.schedule_at(self._now + delay, callback, *args)
+        sequence = self._sequence
+        self._sequence = sequence + 1
+        event = Event(self._now + delay, sequence, callback, args)
+        heappush(self._queue, event)
+        return event
 
     def schedule_at(self, when: float, callback: Callable[..., None], *args: Any) -> Event:
         """Schedule ``callback(*args)`` to run at absolute simulated time ``when``."""
@@ -84,15 +138,16 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule event in the past: now={self._now!r}, requested={when!r}"
             )
-        event = Event(time=when, sequence=self._sequence, callback=callback, args=args)
-        self._sequence += 1
-        heapq.heappush(self._queue, event)
+        sequence = self._sequence
+        self._sequence = sequence + 1
+        event = Event(when, sequence, callback, args)
+        heappush(self._queue, event)
         return event
 
     def cancel(self, event: Optional[Event]) -> None:
         """Cancel a previously scheduled event (``None`` is tolerated)."""
         if event is not None:
-            event.cancel()
+            event.cancelled = True
 
     # ------------------------------------------------------------------
     # Execution
@@ -119,27 +174,32 @@ class Simulator:
         processed_this_run = 0
         wall_start = _wallclock.monotonic() if wallclock_limit is not None else 0.0
 
-        while self._queue and not self._stopped:
-            event = self._queue[0]
+        queue = self._queue
+        pop = heappop
+        bounded = max_events is not None or wallclock_limit is not None
+
+        while queue and not self._stopped:
+            event = queue[0]
             if until is not None and event.time > until:
                 # Advance the clock to the horizon so repeated run() calls
                 # with increasing horizons behave intuitively.
                 self._now = until
                 break
-            heapq.heappop(self._queue)
+            pop(queue)
             if event.cancelled:
                 continue
             self._now = event.time
             event.callback(*event.args)
             self.events_processed += 1
-            processed_this_run += 1
-            if max_events is not None and processed_this_run >= max_events:
-                break
-            if wallclock_limit is not None and processed_this_run % 4096 == 0:
-                if _wallclock.monotonic() - wall_start > wallclock_limit:
+            if bounded:
+                processed_this_run += 1
+                if max_events is not None and processed_this_run >= max_events:
                     break
+                if wallclock_limit is not None and processed_this_run % 4096 == 0:
+                    if _wallclock.monotonic() - wall_start > wallclock_limit:
+                        break
 
-        if not self._queue and until is not None and self._now < until:
+        if not queue and until is not None and self._now < until:
             self._now = until
         self._running = False
 

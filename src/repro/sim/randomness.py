@@ -27,6 +27,46 @@ def derive_seed(root_seed: int, stream_name: str) -> int:
     return int.from_bytes(digest[:8], "big")
 
 
+def spawn_seed(root_seed: int, *spawn_key: int | str) -> int:
+    """Derive a 64-bit child seed from ``root_seed`` and a spawn-key path.
+
+    This is the hash-derived analogue of ``numpy.random.SeedSequence``'s
+    spawn keys: each element of ``spawn_key`` names one level of a
+    derivation tree, so ``spawn_seed(s, "sweep", 3)`` is the seed of the
+    fourth point of the sweep rooted at ``s``.  The derivation depends only
+    on ``(root_seed, spawn_key)`` — never on execution order, process
+    identity or any global RNG state — which is what makes a sweep's
+    results bit-identical whether its points run serially or on a process
+    pool.
+
+    Key elements are length-prefixed before hashing so ambiguous
+    concatenations (``("ab", "c")`` vs ``("a", "bc")``) cannot collide,
+    and the integer 3 is distinguished from the string ``"3"``.
+    """
+    if not spawn_key:
+        raise ValueError("spawn_seed needs at least one spawn-key element")
+    hasher = hashlib.sha256(f"root:{root_seed}".encode("utf-8"))
+    for element in spawn_key:
+        tag = "i" if isinstance(element, int) else "s"
+        text = str(element)
+        hasher.update(f"|{tag}{len(text)}:{text}".encode("utf-8"))
+    return int.from_bytes(hasher.digest()[:8], "big")
+
+
+def spawn_seeds(root_seed: int, count: int, *prefix: int | str) -> list[int]:
+    """The first ``count`` child seeds of the stream named by ``prefix``.
+
+    Element ``i`` equals ``spawn_seed(s, *prefix, "point", i)``, so
+    extending ``count`` later leaves the existing seeds unchanged.  This is
+    the single derivation scheme for per-point seed lists;
+    :func:`repro.experiments.parallel.seeded_replications` is exactly
+    ``spawn_seeds(root, n, "replication")`` applied to configs.
+    """
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    return [spawn_seed(root_seed, *prefix, "point", index) for index in range(count)]
+
+
 class RandomStreams:
     """A registry of named, independently-seeded ``random.Random`` streams."""
 
@@ -46,6 +86,20 @@ class RandomStreams:
         Useful to give each flow or each host its own family of streams.
         """
         return RandomStreams(derive_seed(self.root_seed, name))
+
+    def spawn_indexed(self, *spawn_key: int | str) -> "RandomStreams":
+        """Create a child registry rooted at ``spawn_seed(root, *spawn_key)``.
+
+        The indexed analogue of :meth:`spawn`, for callers that want a
+        whole substream *family* (not just one seed) per point of some
+        indexed structure — e.g. ``streams.spawn_indexed("host", i)``.
+        The derivation depends only on ``(root_seed, spawn_key)``, never on
+        creation order, so the families are stable under parallel
+        execution.  The built-in sweeps don't need this (their points are
+        whole experiments, seeded via the config); it exists for custom
+        studies that partition one experiment's randomness.
+        """
+        return RandomStreams(spawn_seed(self.root_seed, *spawn_key))
 
     # Convenience wrappers -------------------------------------------------
 

@@ -1,0 +1,71 @@
+"""Shared helpers for the test suite.
+
+These used to live in ``tests/conftest.py``, but importing them as
+``from conftest import ...`` is fragile: any other ``conftest.py`` on
+``sys.path`` (the benchmark suite has one) can win the bare ``conftest``
+module name and shadow the helpers.  Tests import this module instead;
+``tests/conftest.py`` only defines fixtures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.net.queues import DropTailQueue
+from repro.sim.engine import Simulator
+from repro.sim.units import megabits_per_second, microseconds
+from repro.topology.simple import TwoHostTopology
+from repro.transport.base import TcpConfig
+from repro.transport.receiver import TcpReceiver
+from repro.transport.tcp import TcpSender
+
+#: A fast-but-realistic config used across transport tests: small initial
+#: window so window growth is observable, conventional 200 ms min RTO.
+TEST_TCP_CONFIG = TcpConfig(mss=1000, initial_cwnd_segments=2)
+
+
+@dataclass
+class TcpTransferHarness:
+    """A single TCP transfer over a two-host topology, ready to run."""
+
+    simulator: Simulator
+    topology: TwoHostTopology
+    sender: TcpSender
+    receiver: TcpReceiver
+
+    def run(self, until: float = 10.0) -> None:
+        """Start the transfer and run the event loop."""
+        self.sender.start()
+        self.simulator.run(until=until)
+
+
+def make_tcp_transfer(
+    size_bytes: int,
+    link_rate_bps: float = megabits_per_second(100),
+    link_delay_s: float = microseconds(50),
+    queue_capacity_packets: int = 100,
+    config: Optional[TcpConfig] = None,
+) -> TcpTransferHarness:
+    """Build a sender/receiver pair on a dedicated two-host topology."""
+    simulator = Simulator()
+    topology = TwoHostTopology(
+        simulator,
+        link_rate_bps=link_rate_bps,
+        link_delay_s=link_delay_s,
+        queue_factory=lambda: DropTailQueue(capacity_packets=queue_capacity_packets),
+    )
+    tcp_config = config if config is not None else TEST_TCP_CONFIG
+    receiver = TcpReceiver(
+        simulator, topology.receiver, local_port=5001, flow_id=1, expected_bytes=size_bytes
+    )
+    sender = TcpSender(
+        simulator,
+        topology.sender,
+        destination=topology.receiver.address,
+        destination_port=5001,
+        total_bytes=size_bytes,
+        flow_id=1,
+        config=tcp_config,
+    )
+    return TcpTransferHarness(simulator, topology, sender, receiver)

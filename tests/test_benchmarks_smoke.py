@@ -1,0 +1,201 @@
+"""Smoke tests for the benchmark suite.
+
+The benchmarks under ``benchmarks/`` are excluded from default collection
+(``testpaths = tests``) because a full run takes minutes, which historically
+let their entry points rot silently.  These tests keep them honest cheaply:
+
+* every ``bench_*.py`` module must import cleanly (catching signature drift
+  in the experiment APIs they call at import time), and
+* the experiment entry point each benchmark drives runs end-to-end at the
+  ``tiny`` scale (sub-second fabrics; see ``bench_common.tiny_config``).
+
+The tiny scale is far too small for the paper's qualitative claims, so
+these tests assert only that the machinery produces well-formed output —
+the claims themselves remain the benchmarks' job.
+"""
+
+from __future__ import annotations
+
+import importlib
+import sys
+from pathlib import Path
+
+import pytest
+
+BENCH_DIR = Path(__file__).resolve().parent.parent / "benchmarks"
+BENCH_MODULES = sorted(path.stem for path in BENCH_DIR.glob("bench_*.py"))
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _bench_dir_on_path():
+    sys.path.insert(0, str(BENCH_DIR))
+    try:
+        yield
+    finally:
+        sys.path.remove(str(BENCH_DIR))
+
+
+def _tiny():
+    bench_common = importlib.import_module("bench_common")
+    return bench_common.tiny_config()
+
+
+class _PassthroughBenchmark:
+    """Stand-in for pytest-benchmark's fixture: run the callable once."""
+
+    def __call__(self, fn, *args, **kwargs):
+        return fn(*args, **kwargs)
+
+    def pedantic(self, fn, args=(), kwargs=None, rounds=1, iterations=1):
+        return fn(*args, **(kwargs or {}))
+
+
+# ---------------------------------------------------------------------------
+# Import rot
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("module_name", BENCH_MODULES)
+def test_bench_module_imports(module_name: str) -> None:
+    """Every benchmark module imports against the current experiment APIs."""
+    module = importlib.import_module(module_name)
+    if module_name != "bench_common":  # the shared helper module has no tests
+        assert any(name.startswith("test_") for name in dir(module)), (
+            f"{module_name} defines no benchmark tests"
+        )
+
+
+def test_all_bench_modules_are_covered() -> None:
+    """A new bench_*.py must be added to the entry-point smoke map below."""
+    assert set(BENCH_MODULES) == set(SMOKE_RUNNERS), (
+        "benchmarks and smoke runners out of sync"
+    )
+
+
+# ---------------------------------------------------------------------------
+# Entry points at tiny scale
+# ---------------------------------------------------------------------------
+
+
+def _smoke_figure1a():
+    from repro.experiments.figure1 import figure1a_series
+
+    rows = figure1a_series(_tiny(), (1, 2))
+    assert [row.num_subflows for row in rows] == [1, 2]
+
+
+def _smoke_figure1b():
+    from repro.experiments.figure1 import figure1b_scatter, scatter_points
+
+    assert scatter_points(figure1b_scatter(_tiny(), num_subflows=2)) is not None
+
+
+def _smoke_figure1c():
+    from repro.experiments.figure1 import figure1c_scatter, scatter_points
+
+    assert scatter_points(figure1c_scatter(_tiny(), num_subflows=2)) is not None
+
+
+def _smoke_section3():
+    from repro.experiments.section3 import section3_statistics
+
+    comparison = section3_statistics(_tiny(), num_subflows=2)
+    assert comparison.mptcp.as_dict() and comparison.mmptcp.as_dict()
+
+
+def _smoke_loadsweep():
+    from repro.experiments.loadsweep import load_sweep_rows, run_load_sweep
+
+    points = run_load_sweep(_tiny(), protocols=("mptcp",), load_factors=(0.5,), workers=1)
+    assert len(load_sweep_rows(points)) == 1
+
+
+def _smoke_incast():
+    from repro.experiments.incast_study import incast_rows, run_incast_sweep
+
+    points = run_incast_sweep(_tiny(), protocols=("tcp",), fan_ins=(4,), response_bytes=20_000)
+    assert len(incast_rows(points)) == 1
+
+
+def _smoke_coexistence():
+    from repro.experiments.coexistence import coexistence_rows, run_coexistence_experiment
+
+    outcome = run_coexistence_experiment(_tiny(), protocols=("tcp", "mmptcp"))
+    assert coexistence_rows(outcome)
+
+
+def _smoke_hotspot():
+    from repro.experiments.hotspot import hotspot_rows, run_hotspot_comparison
+
+    outcomes = run_hotspot_comparison(_tiny(), protocols=("mptcp",), num_subflows=2)
+    assert hotspot_rows(outcomes)
+
+
+def _smoke_deadlines():
+    from repro.experiments.deadline_study import deadline_rows, run_deadline_study
+
+    outcomes = run_deadline_study(_tiny(), protocols=("tcp", "d2tcp"), num_subflows=2)
+    assert deadline_rows(outcomes)
+
+
+def _smoke_ablation_switching():
+    from repro.experiments.config import SWITCHING_CONGESTION, SWITCHING_NEVER
+    from repro.experiments.runner import run_experiment
+
+    for policy in (SWITCHING_CONGESTION, SWITCHING_NEVER):
+        config = _tiny().with_updates(protocol="mmptcp", num_subflows=2,
+                                      switching_policy=policy)
+        assert run_experiment(config).metrics.flows
+
+
+def _smoke_ablation_reordering():
+    from repro.experiments.config import REORDERING_ADAPTIVE, REORDERING_STATIC
+    from repro.experiments.runner import run_experiment
+
+    for policy in (REORDERING_STATIC, REORDERING_ADAPTIVE):
+        config = _tiny().with_updates(protocol="mmptcp", num_subflows=2,
+                                      reordering_policy=policy)
+        assert run_experiment(config).metrics.flows
+
+
+def _smoke_ablation_rto():
+    from repro.experiments.runner import run_experiment
+
+    for protocol in ("mptcp", "mmptcp"):
+        config = _tiny().with_updates(protocol=protocol, num_subflows=2)
+        result = run_experiment(config)
+        assert all(record.rto_events >= 0 for record in result.metrics.flows)
+
+
+def _smoke_micro_simulator():
+    module = importlib.import_module("bench_micro_simulator")
+    shim = _PassthroughBenchmark()
+    module.test_micro_event_loop_throughput(shim)
+    module.test_micro_droptail_queue_operations(shim)
+    module.test_micro_ecmp_hashing(shim)
+    module.test_micro_single_tcp_transfer(shim)
+    module.test_micro_fattree_construction_and_routing(shim)
+
+
+SMOKE_RUNNERS = {
+    "bench_common": lambda: _tiny(),
+    "bench_figure1a": _smoke_figure1a,
+    "bench_figure1b": _smoke_figure1b,
+    "bench_figure1c": _smoke_figure1c,
+    "bench_section3_stats": _smoke_section3,
+    "bench_roadmap_loadsweep": _smoke_loadsweep,
+    "bench_roadmap_incast": _smoke_incast,
+    "bench_roadmap_coexistence": _smoke_coexistence,
+    "bench_roadmap_hotspot": _smoke_hotspot,
+    "bench_baseline_deadlines": _smoke_deadlines,
+    "bench_ablation_switching": _smoke_ablation_switching,
+    "bench_ablation_reordering": _smoke_ablation_reordering,
+    "bench_ablation_rto_incidence": _smoke_ablation_rto,
+    "bench_micro_simulator": _smoke_micro_simulator,
+}
+
+
+@pytest.mark.parametrize("module_name", sorted(SMOKE_RUNNERS))
+def test_bench_entry_point_runs_at_tiny_scale(module_name: str) -> None:
+    """The experiment entry point behind each benchmark completes at tiny scale."""
+    SMOKE_RUNNERS[module_name]()

@@ -13,7 +13,7 @@ from repro.transport.base import TcpConfig
 from repro.transport.receiver import TcpReceiver
 from repro.transport.tcp import TcpSender
 
-from conftest import TEST_TCP_CONFIG, make_tcp_transfer
+from support import TEST_TCP_CONFIG, make_tcp_transfer
 
 
 class TestBasicTransfer:
