@@ -22,7 +22,7 @@ import argparse
 
 from repro.experiments import ExperimentConfig
 from repro.experiments.loadsweep import load_sweep_rows, points_by_protocol, run_load_sweep
-from repro.experiments.parallel import resolve_workers
+from repro.experiments.parallel import workers_argument_type
 from repro.metrics.export import ascii_cdf
 from repro.metrics.reporting import render_table
 from repro.sim.units import megabits_per_second
@@ -33,13 +33,9 @@ LOAD_FACTORS = (0.5, 1.0, 2.0)
 
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--workers", type=int, default=1,
+    parser.add_argument("--workers", type=workers_argument_type, default=1,
                         help="process-pool size (1 = serial, 0 = one per CPU)")
     args = parser.parse_args()
-    try:
-        resolve_workers(args.workers)
-    except ValueError as exc:
-        parser.error(str(exc))
     config = ExperimentConfig(
         fattree_k=4,
         hosts_per_edge=4,

@@ -60,6 +60,69 @@ def summary_comparison_markdown(
     return markdown_table(headers, rows)
 
 
+def scenario_matrix_markdown(
+    rows: Sequence[Mapping[str, object]],
+    baseline_protocol: str = "tcp",
+) -> str:
+    """A per-scenario comparison table across transports, with deltas.
+
+    ``rows`` are the dictionaries produced by
+    :func:`repro.scenarios.runner.matrix_rows`.  Within every scenario each
+    protocol is compared against ``baseline_protocol`` on the three axes the
+    paper's argument rests on: short-flow completion time, long-flow
+    throughput, and retransmissions.  Delta cells show ``n/a`` when the
+    scenario was not run with the baseline protocol (or for the baseline row
+    itself).
+    """
+    headers = [
+        "scenario",
+        "protocol",
+        "completion",
+        "mean FCT (ms)",
+        f"ΔFCT vs {baseline_protocol}",
+        "p99 FCT (ms)",
+        "retransmits",
+        f"Δretx vs {baseline_protocol}",
+        "long tput (Mbps)",
+        f"Δtput vs {baseline_protocol}",
+    ]
+    baselines: Dict[object, Mapping[str, object]] = {
+        row["scenario"]: row for row in rows if row["protocol"] == baseline_protocol
+    }
+
+    def _relative(value: float, base: float) -> str:
+        if base == 0:
+            return "inf" if value else "+0.0%"
+        return f"{100 * (value - base) / base:+.1f}%"
+
+    table_rows: List[List[object]] = []
+    for row in rows:
+        base = baselines.get(row["scenario"])
+        if base is None or row["protocol"] == baseline_protocol:
+            fct_delta = retx_delta = tput_delta = "n/a"
+        else:
+            fct_delta = _relative(float(row["mean_fct_ms"]), float(base["mean_fct_ms"]))
+            retx_delta = f"{int(row['retransmits']) - int(base['retransmits']):+d}"
+            tput_delta = _relative(
+                float(row["long_tput_mbps"]), float(base["long_tput_mbps"])
+            )
+        table_rows.append(
+            [
+                row["scenario"],
+                row["protocol"],
+                f"{100 * float(row['completion_rate']):.1f}%",
+                row["mean_fct_ms"],
+                fct_delta,
+                row["p99_fct_ms"],
+                row["retransmits"],
+                retx_delta,
+                row["long_tput_mbps"],
+                tput_delta,
+            ]
+        )
+    return markdown_table(headers, table_rows)
+
+
 def experiment_section(
     title: str,
     paper_claim: str,

@@ -9,6 +9,9 @@ Exposes the experiment harness without writing any Python::
     repro-mmptcp coexistence
     repro-mmptcp incast --fan-ins 8 16 32 --topologies fattree dualhomed
     repro-mmptcp deadlines --slack 2.0
+    repro-mmptcp scenarios list
+    repro-mmptcp scenarios run core-link-failure --protocol mmptcp
+    repro-mmptcp scenarios matrix --workers 4 --export-dir results/
 
 Every sub-command prints the same tables the corresponding benchmark prints
 and can optionally export per-flow CSVs / JSON summaries via
@@ -29,6 +32,7 @@ from repro.experiments.figure1 import figure1a_series, figure1b_scatter, figure1
 from repro.experiments.hotspot import hotspot_rows, run_hotspot_comparison
 from repro.experiments.incast_study import incast_rows, run_incast_sweep
 from repro.experiments.loadsweep import load_sweep_rows, run_load_sweep
+from repro.experiments.parallel import workers_argument_type
 from repro.experiments.runner import ExperimentResult, run_experiment
 from repro.experiments.section3 import section3_statistics
 from repro.metrics.export import (
@@ -36,12 +40,25 @@ from repro.metrics.export import (
     write_series_csv,
     write_summary_json,
 )
+from repro.analysis.report import scenario_matrix_markdown
 from repro.metrics.reporting import render_table
+from repro.scenarios import (
+    DEFAULT_MATRIX_PROTOCOLS,
+    DEFAULT_MATRIX_SCENARIOS,
+    ScenarioMatrixRunner,
+    all_scenarios,
+    matrix_rows,
+    run_scenario,
+    tiny_config,
+)
 from repro.sim.units import megabits_per_second
 from repro.traffic.flowspec import ALL_PROTOCOLS, PROTOCOL_MMPTCP, PROTOCOL_MPTCP
 
 #: Named scales mirroring the benchmark suite's REPRO_BENCH_SCALE values.
 SCALES = ("quick", "large", "paper")
+
+#: The scenario commands additionally accept the matrix-friendly tiny scale.
+SCENARIO_SCALES = ("tiny",) + SCALES
 
 
 def _scaled_config(scale: str, seed: int) -> ExperimentConfig:
@@ -276,18 +293,75 @@ def _cmd_deadlines(args: argparse.Namespace) -> int:
     return 0
 
 
+def _scenario_scaled_config(scale: str, seed: int):
+    """Like :func:`_scaled_config` but with the extra ``tiny`` matrix scale."""
+    if scale == "tiny":
+        return tiny_config(seed=seed)
+    return _scaled_config(scale, seed)
+
+
+def _cmd_scenarios_list(args: argparse.Namespace) -> int:
+    rows = [
+        {
+            "name": spec.name,
+            "workload": spec.workload,
+            "faults": len(spec.faults),
+            "description": spec.description,
+        }
+        for spec in all_scenarios()
+    ]
+    print("Registered scenarios")
+    print(_rows_table(rows))
+    return 0
+
+
+def _cmd_scenarios_run(args: argparse.Namespace) -> int:
+    base = _scenario_scaled_config(args.scale, args.seed)
+    try:
+        cell = run_scenario(args.name, base_config=base, protocol=args.protocol)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    spec = cell.spec
+    print(f"scenario={spec.name} protocol={cell.protocol} "
+          f"faults={len(spec.faults)} workload={spec.workload}")
+    if spec.description:
+        print(spec.description)
+    _print_summary(cell.result)
+    _maybe_export(cell.result, args.export_dir, f"scenario_{spec.name}_{cell.protocol}")
+    return 0
+
+
+def _cmd_scenarios_matrix(args: argparse.Namespace) -> int:
+    base = _scenario_scaled_config(args.scale, args.seed)
+    runner = ScenarioMatrixRunner(base, workers=args.workers)
+    try:
+        cells = runner.run(scenarios=tuple(args.scenarios), protocols=tuple(args.transports))
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    rows = matrix_rows(cells)
+    print(f"Scenario matrix — {len(args.scenarios)} scenario(s) × "
+          f"{len(args.transports)} transport(s)")
+    print(_rows_table(rows))
+    baseline = args.baseline_protocol
+    if baseline in args.transports:
+        print()
+        print(scenario_matrix_markdown(rows, baseline_protocol=baseline))
+    else:
+        print(f"(no delta table: baseline protocol {baseline!r} is not among "
+              f"the requested transports {list(args.transports)})")
+    _export_rows(rows, args.export_dir, "scenario_matrix")
+    return 0
+
+
 # ---------------------------------------------------------------------------
 # Argument parsing
 # ---------------------------------------------------------------------------
 
 
-def _workers_count(text: str) -> int:
-    value = int(text)
-    if value < 0:
-        raise argparse.ArgumentTypeError(
-            f"--workers must be >= 0 (1 = serial, 0 = one per CPU), got {value}"
-        )
-    return value
+#: Parse-time ``--workers`` validation, shared with the examples.
+_workers_count = workers_argument_type
 
 
 def _add_common_arguments(parser: argparse.ArgumentParser, workers: bool = False) -> None:
@@ -387,6 +461,41 @@ def build_parser() -> argparse.ArgumentParser:
                            default=["tcp", "dctcp", "d2tcp", "mptcp", "mmptcp"],
                            choices=ALL_PROTOCOLS)
     deadlines.set_defaults(handler=_cmd_deadlines)
+
+    scenarios = subparsers.add_parser(
+        "scenarios", help="declarative fault-injection scenarios and matrices")
+    scenario_sub = scenarios.add_subparsers(dest="scenario_command", required=True)
+
+    scen_list = scenario_sub.add_parser("list", help="list the registered scenarios")
+    scen_list.set_defaults(handler=_cmd_scenarios_list)
+
+    def _add_scenario_arguments(sub: argparse.ArgumentParser, workers: bool = False) -> None:
+        sub.add_argument("--scale", choices=SCENARIO_SCALES, default="tiny",
+                         help="experiment scale (tiny/quick/large/paper)")
+        sub.add_argument("--seed", type=int, default=20150817, help="random seed")
+        sub.add_argument("--export-dir", default=None,
+                         help="directory for CSV/JSON exports (omit to skip)")
+        if workers:
+            sub.add_argument("--workers", type=_workers_count, default=1,
+                             help="process-pool size (1 = serial, 0 = one per "
+                                  "CPU; results are identical for any value)")
+
+    scen_run = scenario_sub.add_parser("run", help="run one scenario for one transport")
+    scen_run.add_argument("name", help="registered scenario name (see 'scenarios list')")
+    scen_run.add_argument("--protocol", choices=ALL_PROTOCOLS, default=PROTOCOL_MMPTCP)
+    _add_scenario_arguments(scen_run)
+    scen_run.set_defaults(handler=_cmd_scenarios_run)
+
+    scen_matrix = scenario_sub.add_parser(
+        "matrix", help="run a scenario × transport matrix (parallelisable)")
+    scen_matrix.add_argument("--scenarios", nargs="+", default=list(DEFAULT_MATRIX_SCENARIOS),
+                             help="scenario names (default: baseline core-link-failure)")
+    scen_matrix.add_argument("--transports", nargs="+",
+                             default=list(DEFAULT_MATRIX_PROTOCOLS), choices=ALL_PROTOCOLS)
+    scen_matrix.add_argument("--baseline-protocol", default="tcp", choices=ALL_PROTOCOLS,
+                             help="protocol the delta columns compare against")
+    _add_scenario_arguments(scen_matrix, workers=True)
+    scen_matrix.set_defaults(handler=_cmd_scenarios_matrix)
 
     return parser
 

@@ -16,8 +16,9 @@ provided:
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Optional
+from typing import Optional, Tuple
 
+from repro.net.faults import FaultEvent
 from repro.sim.units import (
     gigabits_per_second,
     kilobytes,
@@ -55,6 +56,9 @@ class ExperimentConfig:
     fattree_k: int = 4
     hosts_per_edge: Optional[int] = 8  # k=4 with 8 hosts/edge -> 4:1 over-subscription
     link_rate_bps: float = megabits_per_second(100)
+    core_oversubscription: float = 1.0
+    core_link_rate_bps: Optional[float] = None
+    host_link_rate_bps: Optional[float] = None
     link_delay_s: float = microseconds(20)
     queue_kind: str = QUEUE_DROPTAIL
     queue_capacity_packets: int = 100
@@ -82,6 +86,12 @@ class ExperimentConfig:
     reordering_policy: str = REORDERING_TOPOLOGY
     adaptive_reordering_increment: int = 2
 
+    # Faults ---------------------------------------------------------------
+    #: Timed link failures / degradations applied to the fabric during the
+    #: run (see :mod:`repro.net.faults`).  A tuple of frozen events so the
+    #: config stays hashable and picklable for parallel sweeps.
+    fault_schedule: Tuple[FaultEvent, ...] = ()
+
     # Run control ---------------------------------------------------------------
     seed: int = 1
     max_events: Optional[int] = None
@@ -100,6 +110,12 @@ class ExperimentConfig:
             raise ValueError(f"unknown queue kind {self.queue_kind!r}")
         if self.topology not in (TOPOLOGY_FATTREE, TOPOLOGY_DUALHOMED, TOPOLOGY_VL2):
             raise ValueError(f"unknown topology {self.topology!r}")
+        if self.core_oversubscription <= 0:
+            raise ValueError("core_oversubscription must be positive")
+        if not isinstance(self.fault_schedule, tuple):
+            # Lists pickle fine but break hashing/equality of the frozen
+            # config; normalise early with a clear message instead.
+            raise ValueError("fault_schedule must be a tuple of FaultEvent")
 
     @property
     def horizon_s(self) -> float:

@@ -58,12 +58,15 @@ def build_incast_workload_for(
     response_bytes: int,
     protocol: str,
     start_time: float = 0.01,
+    receiver: Optional[str] = None,
 ) -> Workload:
     """A synchronised ``fan_in``-to-1 burst over the fabric described by ``config``.
 
     The receiver and the senders are drawn from the fabric's hosts with the
     configuration seed, so every protocol (and every topology of the same
-    size) sees the same logical burst.
+    size) sees the same logical burst.  Pass ``receiver`` to pin the burst
+    target to a named host instead — fault-injection scenarios use this to
+    aim link failures at the receiver's ingress.
     """
     if fan_in < 1:
         raise ValueError("fan_in must be at least 1")
@@ -74,7 +77,10 @@ def build_incast_workload_for(
     if fan_in >= len(hosts):
         raise ValueError(f"fan_in {fan_in} needs more hosts than the fabric has ({len(hosts)})")
     rng = streams.stream("incast")
-    receiver = rng.choice(hosts)
+    if receiver is None:
+        receiver = rng.choice(hosts)
+    elif receiver not in hosts:
+        raise ValueError(f"receiver {receiver!r} is not a host of this fabric")
     senders = rng.sample([name for name in hosts if name != receiver], fan_in)
     return build_incast_workload(
         senders,

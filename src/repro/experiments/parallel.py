@@ -90,6 +90,25 @@ def resolve_workers(workers: Optional[int]) -> int:
     return workers
 
 
+def workers_argument_type(text: str) -> int:
+    """``argparse`` type for ``--workers`` flags: validate at parse time.
+
+    Shared by the CLI and the examples so a negative pool size is rejected
+    with one clear message before any simulation work starts, instead of
+    surfacing as a traceback from the process pool.
+    """
+    import argparse
+
+    value = int(text)
+    try:
+        resolve_workers(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"--workers must be >= 0 (1 = serial, 0 = one per CPU), got {value}"
+        ) from None
+    return value
+
+
 class SweepRunner:
     """Executes a list of :class:`RunSpec`s, serially or on a process pool.
 

@@ -43,10 +43,12 @@ from repro.experiments.config import (
 )
 from repro.metrics.collector import ExperimentMetrics
 from repro.metrics.records import FlowRecord
+from repro.net.faults import FaultInjector
 from repro.net.host import Host
 from repro.net.queues import DropTailQueue, EcnQueue, SharedBufferPool, SharedBufferQueue
 from repro.sim.engine import Simulator
 from repro.sim.randomness import RandomStreams
+from repro.sim.tracing import NULL_SINK, TraceSink
 from repro.topology.base import Topology
 from repro.topology.dualhomed import DualHomedFatTreeTopology
 from repro.topology.fattree import FatTreeParams, FatTreeTopology
@@ -95,32 +97,44 @@ class ExperimentResult:
 # ---------------------------------------------------------------------------
 
 
-def build_topology(config: ExperimentConfig, simulator: Simulator) -> Topology:
+def build_topology(
+    config: ExperimentConfig, simulator: Simulator, trace: TraceSink = NULL_SINK
+) -> Topology:
     """Instantiate the fabric described by ``config``."""
     queue_factory = _queue_factory(config)
-    if config.topology == TOPOLOGY_FATTREE:
+    if config.topology in (TOPOLOGY_FATTREE, TOPOLOGY_DUALHOMED):
         params = FatTreeParams(
             k=config.fattree_k,
             hosts_per_edge=config.hosts_per_edge,
             link_rate_bps=config.link_rate_bps,
+            core_oversubscription=config.core_oversubscription,
+            core_link_rate_bps=config.core_link_rate_bps,
+            host_link_rate_bps=config.host_link_rate_bps,
             link_delay_s=config.link_delay_s,
         )
-        return FatTreeTopology(simulator, params, queue_factory=queue_factory)
-    if config.topology == TOPOLOGY_DUALHOMED:
-        params = FatTreeParams(
-            k=config.fattree_k,
-            hosts_per_edge=config.hosts_per_edge,
-            link_rate_bps=config.link_rate_bps,
-            link_delay_s=config.link_delay_s,
+        topology_class = (
+            FatTreeTopology if config.topology == TOPOLOGY_FATTREE else DualHomedFatTreeTopology
         )
-        return DualHomedFatTreeTopology(simulator, params, queue_factory=queue_factory)
+        return topology_class(simulator, params, queue_factory=queue_factory, trace=trace)
     if config.topology == TOPOLOGY_VL2:
+        if (
+            config.core_oversubscription != 1.0
+            or config.core_link_rate_bps is not None
+            or config.host_link_rate_bps is not None
+        ):
+            # Refuse rather than silently building a symmetric fabric: a
+            # scenario matrix comparing "asymmetric" VL2 cells against
+            # baseline would otherwise report misleading zero deltas.
+            raise ValueError(
+                "core_oversubscription / core_link_rate_bps / host_link_rate_bps "
+                "apply to FatTree-family topologies only, not vl2"
+            )
         params = Vl2Params(
             server_link_rate_bps=config.link_rate_bps,
             fabric_link_rate_bps=config.link_rate_bps * 10,
             link_delay_s=config.link_delay_s,
         )
-        return Vl2Topology(simulator, params, queue_factory=queue_factory)
+        return Vl2Topology(simulator, params, queue_factory=queue_factory, trace=trace)
     raise ValueError(f"unknown topology {config.topology!r}")
 
 
@@ -340,7 +354,8 @@ def _record_for(instance: _FlowInstance) -> FlowRecord:
 def run_experiment(
     config: ExperimentConfig,
     workload: Optional[Workload] = None,
-    topology_builder: Optional[Callable[[ExperimentConfig, Simulator], Topology]] = None,
+    topology_builder: Optional[Callable[..., Topology]] = None,
+    trace: TraceSink = NULL_SINK,
 ) -> ExperimentResult:
     """Run one simulation described by ``config`` and return its metrics.
 
@@ -350,12 +365,19 @@ def run_experiment(
             mix when omitted).  Passing the same workload object to several
             configs is how protocol comparisons stay paired.
         topology_builder: override for exotic fabrics (defaults to
-            :func:`build_topology`).
+            :func:`build_topology`; called as ``builder(config, simulator)``).
+        trace: sink receiving the run's trace events (drops, fault events,
+            ...); the default null sink costs nothing.
     """
     wall_start = _wallclock.monotonic()
     simulator = Simulator()
     streams = RandomStreams(config.seed)
-    topology = (topology_builder or build_topology)(config, simulator)
+    if topology_builder is not None:
+        topology = topology_builder(config, simulator)
+    else:
+        topology = build_topology(config, simulator, trace)
+    if config.fault_schedule:
+        FaultInjector(simulator, topology, config.fault_schedule, trace=trace).arm()
     if workload is None:
         workload = build_workload(config, topology, streams)
 

@@ -46,3 +46,19 @@ def select_path(packet: Packet, num_paths: int, salt: int = 0) -> int:
     if num_paths == 1:
         return 0
     return ecmp_hash(packet, salt) % num_paths
+
+
+def select_among(packet: Packet, candidates: "list[int]", salt: int = 0) -> int:
+    """Pick one element of ``candidates`` by the same flow hash.
+
+    This is the failure-aware re-hash: when some next hops of an ECMP group
+    are down, the switch re-hashes the packet over the surviving subset, so
+    flows mapped onto a dead path deterministically move to a live one (and
+    flows already on live paths keep their path whenever the subset ordering
+    preserves their index — the hash itself never changes).
+    """
+    if not candidates:
+        raise ValueError("candidates must be non-empty")
+    if len(candidates) == 1:
+        return candidates[0]
+    return candidates[ecmp_hash(packet, salt) % len(candidates)]

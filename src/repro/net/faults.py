@@ -1,0 +1,185 @@
+"""Timed fault injection: link failures and capacity degradation.
+
+A fault schedule is a tuple of :class:`FaultEvent`s — pure, hashable,
+picklable data, so it can live on a frozen :class:`ExperimentConfig` and
+travel to worker processes unchanged.  The :class:`FaultInjector` arms the
+schedule on a concrete topology: at each event's time it flips the named
+link's state (both directions of the full-duplex pair), mutates the
+topology's connectivity graph, and rebuilds the ECMP forwarding tables
+around the failure (``allow_partial=True`` — a partition makes the affected
+destinations unroutable rather than crashing the run).
+
+Two layers cooperate to keep traffic flowing:
+
+* the routing rebuild removes dead next hops from every ECMP group, so new
+  path selections never consider them;
+* :meth:`repro.net.switch.Switch.select_output_interface` re-hashes over the
+  live subset of a group if the hashed choice is down, which covers any
+  window where tables and link state disagree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, Optional, Tuple
+
+from repro.sim.engine import Simulator
+from repro.sim.tracing import NULL_SINK, TraceSink
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.net.link import Interface
+    from repro.topology.base import Topology
+
+#: Fault kinds.
+LINK_DOWN = "link_down"
+LINK_UP = "link_up"
+DEGRADE = "degrade"
+RESTORE = "restore"
+
+_KINDS = (LINK_DOWN, LINK_UP, DEGRADE, RESTORE)
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One timed change to the link between two named nodes.
+
+    Attributes:
+        time_s: simulated time at which the fault is applied.
+        kind: one of ``link_down`` / ``link_up`` / ``degrade`` / ``restore``.
+        node_a / node_b: names of the link's endpoints (order irrelevant).
+        factor: for ``degrade``, the multiplier applied to the link's
+            *original* rate (0.25 = quarter speed).  Ignored otherwise.
+    """
+
+    time_s: float
+    kind: str
+    node_a: str
+    node_b: str
+    factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.time_s < 0:
+            raise ValueError("fault time cannot be negative")
+        if self.kind not in _KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}; expected one of {_KINDS}")
+        if self.kind == DEGRADE and not 0 < self.factor:
+            raise ValueError("degrade factor must be positive")
+        if not self.node_a or not self.node_b or self.node_a == self.node_b:
+            raise ValueError("fault endpoints must be two distinct node names")
+
+
+def link_failure(time_s: float, node_a: str, node_b: str) -> FaultEvent:
+    """A permanent failure of the ``node_a``–``node_b`` link."""
+    return FaultEvent(time_s=time_s, kind=LINK_DOWN, node_a=node_a, node_b=node_b)
+
+
+def link_flap(
+    down_s: float, up_s: float, node_a: str, node_b: str
+) -> Tuple[FaultEvent, FaultEvent]:
+    """A failure at ``down_s`` followed by recovery at ``up_s``."""
+    if up_s <= down_s:
+        raise ValueError("recovery must come after the failure")
+    return (
+        FaultEvent(time_s=down_s, kind=LINK_DOWN, node_a=node_a, node_b=node_b),
+        FaultEvent(time_s=up_s, kind=LINK_UP, node_a=node_a, node_b=node_b),
+    )
+
+
+def degradation(
+    time_s: float, node_a: str, node_b: str, factor: float, restore_s: Optional[float] = None
+) -> Tuple[FaultEvent, ...]:
+    """Capacity degradation to ``factor`` × original, optionally restored later."""
+    events = [
+        FaultEvent(time_s=time_s, kind=DEGRADE, node_a=node_a, node_b=node_b, factor=factor)
+    ]
+    if restore_s is not None:
+        if restore_s <= time_s:
+            raise ValueError("restore must come after the degradation")
+        events.append(
+            FaultEvent(time_s=restore_s, kind=RESTORE, node_a=node_a, node_b=node_b)
+        )
+    return tuple(events)
+
+
+class FaultInjector:
+    """Arms a fault schedule on a topology inside a running simulation."""
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        topology: "Topology",
+        schedule: Tuple[FaultEvent, ...],
+        trace: TraceSink = NULL_SINK,
+    ) -> None:
+        self.simulator = simulator
+        self.topology = topology
+        self.schedule = tuple(schedule)
+        self.trace = trace
+        self.applied_events = 0
+        # Original rates, captured at degrade time so RESTORE can undo it.
+        self._original_rates: Dict[Tuple[str, str], Tuple[float, float]] = {}
+        # Validate eagerly: a typo'd node name should fail at arm time, not
+        # mid-simulation.
+        for event in self.schedule:
+            self._interfaces_for(event)
+
+    def arm(self) -> None:
+        """Schedule every fault event on the simulator."""
+        for event in self.schedule:
+            self.simulator.schedule_at(event.time_s, self._apply, event)
+
+    # ------------------------------------------------------------------
+
+    def _interfaces_for(self, event: FaultEvent) -> Tuple["Interface", "Interface"]:
+        return self.topology.interfaces_between(event.node_a, event.node_b)
+
+    @staticmethod
+    def _oriented(
+        event: FaultEvent, iface_ab: "Interface", iface_ba: "Interface"
+    ) -> Tuple[Tuple[str, str], "Interface", "Interface"]:
+        """A canonical (key, iface, iface) triple for per-link rate state.
+
+        Endpoint order is documented as irrelevant, so a DEGRADE named
+        ``(a, b)`` must be matched by a RESTORE named ``(b, a)``: both the
+        dictionary key and the direction the stored rates refer to are
+        normalised to sorted-name order.
+        """
+        if event.node_a <= event.node_b:
+            return (event.node_a, event.node_b), iface_ab, iface_ba
+        return (event.node_b, event.node_a), iface_ba, iface_ab
+
+    def _apply(self, event: FaultEvent) -> None:
+        iface_ab, iface_ba = self._interfaces_for(event)
+        graph = self.topology.graph
+        if event.kind == LINK_DOWN:
+            iface_ab.set_up(False)
+            iface_ba.set_up(False)
+            if graph.has_edge(event.node_a, event.node_b):
+                graph.remove_edge(event.node_a, event.node_b)
+            self.topology.rebuild_routes()
+        elif event.kind == LINK_UP:
+            iface_ab.set_up(True)
+            iface_ba.set_up(True)
+            graph.add_edge(event.node_a, event.node_b)
+            self.topology.rebuild_routes()
+        elif event.kind == DEGRADE:
+            key, iface_ab, iface_ba = self._oriented(event, iface_ab, iface_ba)
+            if key not in self._original_rates:
+                self._original_rates[key] = (iface_ab.rate_bps, iface_ba.rate_bps)
+            original_ab, original_ba = self._original_rates[key]
+            iface_ab.set_rate(original_ab * event.factor)
+            iface_ba.set_rate(original_ba * event.factor)
+        else:  # RESTORE
+            key, iface_ab, iface_ba = self._oriented(event, iface_ab, iface_ba)
+            if key in self._original_rates:
+                original_ab, original_ba = self._original_rates.pop(key)
+                iface_ab.set_rate(original_ab)
+                iface_ba.set_rate(original_ba)
+        self.applied_events += 1
+        if self.trace.enabled:
+            self.trace.emit(
+                self.simulator.now,
+                event.kind,
+                link=f"{event.node_a}<->{event.node_b}",
+                factor=event.factor,
+            )

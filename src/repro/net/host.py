@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Protocol
 
-from repro.net.ecmp import select_path
+from repro.net.ecmp import select_among, select_path
 from repro.net.link import Interface
 from repro.net.node import Node
 from repro.net.packet import Packet
@@ -86,6 +86,11 @@ class Host(Node):
             # host-side ECMP bonding driver would.
             index = select_path(packet, len(self.interfaces), salt=self.address)
             interface = self.interfaces[index]
+            if not interface.up:
+                # Bonding drivers fail over to a surviving uplink.
+                live = [i for i in range(len(self.interfaces)) if self.interfaces[i].up]
+                if live:
+                    interface = self.interfaces[select_among(packet, live, salt=self.address)]
         return interface.send(packet)
 
     def receive(self, packet: Packet, interface: Optional[Interface]) -> None:

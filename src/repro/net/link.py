@@ -34,10 +34,17 @@ class Interface:
     Attributes:
         node: the owning node.
         peer: the node reached through this interface.
-        rate_bps: link capacity in bits per second.
+        rate_bps: link capacity in bits per second.  May be lowered/raised at
+            runtime via :meth:`set_rate` (fault injection); packets already
+            serialising finish at the rate in force when they started.
         delay_s: one-way propagation delay in seconds.
         queue: output queue discipline.
+        up: administrative/physical state.  A down interface drops every
+            packet offered to it, keeps already-queued packets parked, and
+            loses packets whose serialisation completes while it is down
+            (they were "on the wire" when the cable was cut).
         bytes_sent / packets_sent: transmission counters (payload + headers).
+        fault_drops: packets lost because the interface was down.
         busy_time: cumulative seconds the transmitter has been serialising,
             used to compute link utilisation.
     """
@@ -66,6 +73,8 @@ class Interface:
         self.bytes_sent = 0
         self.packets_sent = 0
         self.busy_time = 0.0
+        self.up = True
+        self.fault_drops = 0
         self._transmitting = False
         self.drop_callback: Optional[Callable[[Packet, "Interface"], None]] = None
 
@@ -86,6 +95,12 @@ class Interface:
         """Offer ``packet`` for transmission; returns False if the queue dropped it."""
         if self.peer is None:
             raise RuntimeError(f"interface {self.name} is not connected")
+        if not self.up:
+            self.fault_drops += 1
+            if self.drop_callback is not None:
+                self.drop_callback(packet, self)
+            self.node.note_drop(packet, self)
+            return False
         accepted = self.queue.enqueue(packet)
         if not accepted:
             if self.drop_callback is not None:
@@ -97,6 +112,10 @@ class Interface:
         return True
 
     def _start_next_transmission(self) -> None:
+        if not self.up:
+            # Queued packets stay parked until the link comes back up.
+            self._transmitting = False
+            return
         packet = self.queue.dequeue()
         if packet is None:
             self._transmitting = False
@@ -107,6 +126,15 @@ class Interface:
         self.simulator.schedule(tx_delay, self._finish_transmission, packet)
 
     def _finish_transmission(self, packet: Packet) -> None:
+        if not self.up:
+            # The link went down while this packet was serialising: it was on
+            # the wire when the cable was cut, so it is lost.
+            self.fault_drops += 1
+            if self.drop_callback is not None:
+                self.drop_callback(packet, self)
+            self.node.note_drop(packet, self)
+            self._start_next_transmission()
+            return
         self.bytes_sent += packet.size
         self.packets_sent += 1
         # Propagation: the receiving node sees the packet one delay later.
@@ -118,6 +146,24 @@ class Interface:
         packet.hops += 1
         assert self.peer is not None
         self.peer.receive(packet, self.peer_interface)
+
+    # ------------------------------------------------------------------
+    # Fault injection
+    # ------------------------------------------------------------------
+
+    def set_up(self, up: bool) -> None:
+        """Change the link state.  Re-enabling a link resumes draining its queue."""
+        if self.up == up:
+            return
+        self.up = up
+        if up and not self._transmitting:
+            self._start_next_transmission()
+
+    def set_rate(self, rate_bps: float) -> None:
+        """Change the link capacity; packets already serialising are unaffected."""
+        if rate_bps <= 0:
+            raise ValueError("link rate must be positive")
+        self.rate_bps = rate_bps
 
     # ------------------------------------------------------------------
     # Introspection

@@ -24,6 +24,7 @@ def build_ecmp_routes(
     graph: nx.Graph,
     hosts: Sequence[Host],
     switches: Sequence[Switch],
+    allow_partial: bool = False,
 ) -> None:
     """Populate the forwarding table of every switch in ``switches``.
 
@@ -31,10 +32,16 @@ def build_ecmp_routes(
         graph: undirected connectivity graph whose vertices are node names.
         hosts: destination hosts (routes are computed towards each of them).
         switches: switches to programme.
+        allow_partial: when True, a switch that cannot reach a destination
+            simply has that route removed (packets there count as unroutable)
+            instead of the build failing.  This is the mode fault injection
+            uses to rebuild tables around failed links, where partitions are
+            legitimate outcomes rather than construction bugs.
 
     Raises:
-        ValueError: if a destination host is unreachable from some switch —
-            that always indicates a mis-built topology.
+        ValueError: if ``allow_partial`` is False and a destination host is
+            unreachable from some switch — that always indicates a mis-built
+            topology.
     """
     for destination in hosts:
         distances: Dict[str, int] = nx.single_source_shortest_path_length(
@@ -42,6 +49,9 @@ def build_ecmp_routes(
         )
         for switch in switches:
             if switch.name not in distances:
+                if allow_partial:
+                    switch.remove_route(destination.address)
+                    continue
                 raise ValueError(
                     f"switch {switch.name} cannot reach host {destination.name}; "
                     "the topology graph is disconnected"
@@ -54,6 +64,9 @@ def build_ecmp_routes(
                 and neighbor in switch.neighbor_to_interface
             ]
             if not next_hop_indices:
+                if allow_partial:
+                    switch.remove_route(destination.address)
+                    continue
                 raise ValueError(
                     f"no next hop from {switch.name} towards {destination.name}"
                 )

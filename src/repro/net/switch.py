@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
-from repro.net.ecmp import select_path
+from repro.net.ecmp import select_among, select_path
 from repro.net.link import Interface
 from repro.net.node import Node
 from repro.net.packet import Packet
@@ -59,6 +59,10 @@ class Switch(Node):
             raise ValueError(f"empty next-hop set for destination {destination} on {self.name}")
         self.forwarding_table[destination] = list(interface_indices)
 
+    def remove_route(self, destination: int) -> None:
+        """Drop the next-hop set for ``destination`` (used when it becomes unreachable)."""
+        self.forwarding_table.pop(destination, None)
+
     def routes_to(self, destination: int) -> List[int]:
         """The installed next-hop interface indices for ``destination`` (may be empty)."""
         return self.forwarding_table.get(destination, [])
@@ -67,21 +71,42 @@ class Switch(Node):
     # Forwarding
     # ------------------------------------------------------------------
 
-    def receive(self, packet: Packet, interface: Optional[Interface]) -> None:
-        """Forward an arriving packet towards its destination."""
+    def select_output_interface(self, packet: Packet) -> Optional[Interface]:
+        """The interface this switch would forward ``packet`` out of.
+
+        Applies flow-hash ECMP over the installed next-hop group, then — only
+        if the hashed choice is down — re-hashes over the live subset of the
+        group.  Returns ``None`` when no route is installed or every next hop
+        is down; never returns a down interface.
+        """
         candidates = self.forwarding_table.get(packet.dst)
         if not candidates:
+            return None
+        if len(candidates) == 1:
+            choice = candidates[0]
+        else:
+            choice = candidates[select_path(packet, len(candidates), salt=self.ecmp_salt)]
+        out_interface = self.interfaces[choice]
+        if out_interface.up:
+            return out_interface
+        # Failure-aware re-hash: restrict the group to live members.  This is
+        # the safety net for the window between a link going down and the
+        # routing tables being rebuilt around it.
+        live = [index for index in candidates if self.interfaces[index].up]
+        if not live:
+            return None
+        return self.interfaces[select_among(packet, live, salt=self.ecmp_salt)]
+
+    def receive(self, packet: Packet, interface: Optional[Interface]) -> None:
+        """Forward an arriving packet towards its destination."""
+        out_interface = self.select_output_interface(packet)
+        if out_interface is None:
             self.unroutable_packets += 1
             if self.trace.enabled:
                 self.trace.emit(
                     self.simulator.now, "unroutable", node=self.name, dst=packet.dst
                 )
             return
-        if len(candidates) == 1:
-            choice = candidates[0]
-        else:
-            choice = candidates[select_path(packet, len(candidates), salt=self.ecmp_salt)]
-        out_interface = self.interfaces[choice]
         self.forwarded_packets += 1
         self.forwarded_bytes += packet.size
         out_interface.send(packet)

@@ -1,0 +1,139 @@
+"""Declarative scenario specifications.
+
+A :class:`ScenarioSpec` bundles everything that distinguishes one evaluation
+condition from another — a topology variant (via config overrides such as
+``core_oversubscription``), a fault schedule, and a workload shape — without
+fixing the transport protocol or the fabric scale.  The scenario matrix
+crosses specs with protocols, so the same fault hits TCP, MPTCP and MMPTCP
+under the *same* seed-derived workload, which is what makes the per-scenario
+deltas meaningful.
+
+Specs are pure data: applying one to an :class:`ExperimentConfig` yields
+another frozen, picklable config, so scenario runs fan out through
+:class:`repro.experiments.parallel.SweepRunner` exactly like any other sweep
+and stay byte-identical for any worker count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Optional, Tuple
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.incast_study import build_incast_workload_for
+from repro.net.faults import FaultEvent
+from repro.sim.units import kilobytes, megabits_per_second
+from repro.traffic.workloads import Workload
+
+#: Workload shapes a scenario can request.
+WORKLOAD_SHORT_LONG = "short_long"
+WORKLOAD_INCAST = "incast"
+WORKLOAD_KINDS = (WORKLOAD_SHORT_LONG, WORKLOAD_INCAST)
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One evaluation condition: topology variant + fault schedule + workload.
+
+    Attributes:
+        name: registry key (kebab-case by convention).
+        description: one-line human description shown by ``scenarios list``.
+        config_overrides: :class:`ExperimentConfig` field overrides that
+            define the topology variant (e.g. ``{"core_oversubscription": 2.0}``).
+            The transport protocol is *not* part of a scenario — the matrix
+            supplies it.
+        faults: timed :class:`FaultEvent`s applied during the run.  Fault
+            endpoints name fabric nodes (``core-0``, ``agg-0-0``, ...), so a
+            scenario with faults presumes a FatTree-family topology of
+            sufficient arity.
+        workload: ``short_long`` (the paper's mixed workload, built from the
+            config) or ``incast`` (a synchronised fan-in burst).
+        fan_in / response_bytes / receiver: incast parameters; ignored for
+            ``short_long``.  ``receiver`` pins the burst target to a named
+            host (``None`` = drawn from the seed), which lets a fault
+            schedule aim a failure at the receiver's ingress links.
+    """
+
+    name: str
+    description: str = ""
+    config_overrides: Mapping[str, Any] = field(default_factory=dict)
+    faults: Tuple[FaultEvent, ...] = ()
+    workload: str = WORKLOAD_SHORT_LONG
+    fan_in: int = 8
+    response_bytes: int = kilobytes(70)
+    receiver: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("scenario name cannot be empty")
+        if self.workload not in WORKLOAD_KINDS:
+            raise ValueError(
+                f"unknown workload kind {self.workload!r}; expected one of {WORKLOAD_KINDS}"
+            )
+        if not isinstance(self.faults, tuple):
+            raise ValueError("faults must be a tuple of FaultEvent")
+        if self.fan_in < 1:
+            raise ValueError("fan_in must be at least 1")
+        if self.response_bytes <= 0:
+            raise ValueError("response_bytes must be positive")
+        if "protocol" in self.config_overrides or "fault_schedule" in self.config_overrides:
+            raise ValueError(
+                "config_overrides cannot set 'protocol' (the matrix supplies it) "
+                "or 'fault_schedule' (use the faults field)"
+            )
+
+    def apply_to(self, config: ExperimentConfig) -> ExperimentConfig:
+        """The config that runs this scenario on top of ``config``."""
+        return config.with_updates(fault_schedule=self.faults, **dict(self.config_overrides))
+
+    @property
+    def has_faults(self) -> bool:
+        """True when the scenario injects at least one fault event."""
+        return bool(self.faults)
+
+
+def build_scenario_workload(
+    config: ExperimentConfig,
+    workload_kind: str,
+    fan_in: int = 8,
+    response_bytes: int = kilobytes(70),
+    receiver: Optional[str] = None,
+) -> Optional[Workload]:
+    """Materialise a scenario's workload inside a worker process.
+
+    Module-level so :class:`repro.experiments.parallel.RunSpec` can carry it
+    by reference.  Returns ``None`` for ``short_long`` — the experiment
+    runner then builds the default mixed workload from the config, exactly as
+    a plain run would.
+    """
+    if workload_kind == WORKLOAD_SHORT_LONG:
+        return None
+    if workload_kind == WORKLOAD_INCAST:
+        return build_incast_workload_for(
+            config, fan_in, response_bytes, config.protocol, receiver=receiver
+        )
+    raise ValueError(f"unknown workload kind {workload_kind!r}")
+
+
+def tiny_config(seed: int = 20150817, **overrides) -> ExperimentConfig:
+    """The 'tiny' scale used by scenario matrices and the CI smoke matrix.
+
+    A 16-host k=4 FatTree with a dozen short flows: big enough that faults
+    and over-subscription visibly move the metrics, small enough that a
+    full scenario × transport matrix finishes in well under a minute.
+    """
+    defaults = dict(
+        fattree_k=4,
+        hosts_per_edge=2,
+        link_rate_bps=megabits_per_second(100),
+        arrival_window_s=0.12,
+        drain_time_s=1.2,
+        short_flow_rate_per_sender=4.0,
+        long_flow_size_bytes=500_000,
+        max_short_flows=12,
+        num_subflows=4,
+        initial_cwnd_segments=2,
+        seed=seed,
+    )
+    defaults.update(overrides)
+    return ExperimentConfig(**defaults)

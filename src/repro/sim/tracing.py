@@ -9,9 +9,10 @@ components needing to know who is listening.
 
 from __future__ import annotations
 
+import hashlib
 from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Any, Callable, DefaultDict, Dict, List
+from typing import Any, Callable, DefaultDict, Dict, Iterable, List
 
 
 @dataclass
@@ -76,3 +77,36 @@ class CallbackTraceSink(TraceSink):
 
 
 NULL_SINK = TraceSink()
+
+
+# ---------------------------------------------------------------------------
+# Canonical serialisation (golden-trace regression tests)
+# ---------------------------------------------------------------------------
+
+
+def canonical_event_line(event: TraceEvent) -> str:
+    """One deterministic text line for ``event``.
+
+    Floats are rendered with ``repr`` (shortest round-trip form — stable
+    across platforms and Python versions since 3.1) and data keys are
+    sorted, so the same event always produces the same bytes.
+    """
+    parts = [repr(event.time), event.name]
+    parts.extend(f"{key}={event.data[key]!r}" for key in sorted(event.data))
+    return " ".join(parts)
+
+
+def canonical_trace(events: Iterable[TraceEvent]) -> str:
+    """The whole event sequence as one canonical text blob.
+
+    Golden-trace tests record this for a reference run and assert
+    byte-for-byte equality after refactors: any change to event timing,
+    ordering, naming or payload shows up as a diff rather than as a silent
+    behaviour drift.
+    """
+    return "".join(canonical_event_line(event) + "\n" for event in events)
+
+
+def trace_digest(events: Iterable[TraceEvent]) -> str:
+    """SHA-256 hex digest of :func:`canonical_trace` (compact golden value)."""
+    return hashlib.sha256(canonical_trace(events).encode("utf-8")).hexdigest()

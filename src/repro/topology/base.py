@@ -83,6 +83,15 @@ class Topology:
         build_ecmp_routes(self.graph, self.hosts, self.switches)
         self._routes_built = True
 
+    def rebuild_routes(self) -> None:
+        """Recompute forwarding tables after the graph changed (fault injection).
+
+        Unlike the initial :meth:`build_routes`, destinations that became
+        unreachable are tolerated: their routes are removed and packets for
+        them count as unroutable at the switches.
+        """
+        build_ecmp_routes(self.graph, self.hosts, self.switches, allow_partial=True)
+
     # ------------------------------------------------------------------
     # Lookups
     # ------------------------------------------------------------------
@@ -94,6 +103,31 @@ class Topology:
     def host_by_address(self, address: int) -> Host:
         """Host object owning ``address``."""
         return self._hosts_by_address[address]
+
+    def interfaces_between(self, name_a: str, name_b: str) -> tuple[Interface, Interface]:
+        """The full-duplex interface pair of the ``name_a``–``name_b`` link.
+
+        Returns ``(a_to_b, b_to_a)``.  Raises ``ValueError`` when the nodes
+        are unknown or not directly connected — fault schedules that name a
+        non-existent link should fail loudly.
+        """
+        node_a = self._nodes_by_name.get(name_a)
+        node_b = self._nodes_by_name.get(name_b)
+        if node_a is None or node_b is None:
+            missing = name_a if node_a is None else name_b
+            raise ValueError(f"unknown node {missing!r}")
+        if name_b not in node_a.neighbor_to_interface or name_a not in node_b.neighbor_to_interface:
+            raise ValueError(f"no link between {name_a!r} and {name_b!r}")
+        return node_a.interface_to(name_b), node_b.interface_to(name_a)
+
+    def switch_link_names(self) -> list[tuple[str, str]]:
+        """All switch-to-switch links as sorted name pairs (fault-schedule targets)."""
+        switch_names = {switch.name for switch in self.switches}
+        return sorted(
+            tuple(sorted((a, b)))
+            for a, b in self.graph.edges()
+            if a in switch_names and b in switch_names
+        )
 
     def path_count(self, host_a: Host, host_b: Host) -> int:
         """Number of equal-cost shortest paths between two hosts."""

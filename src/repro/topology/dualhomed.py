@@ -60,7 +60,7 @@ class DualHomedFatTreeTopology(Topology):
                     self.connect_nodes(
                         aggregation,
                         core,
-                        params.link_rate_bps,
+                        params.effective_core_rate_bps,
                         params.link_delay_s,
                         queue_factory,
                     )
@@ -81,12 +81,12 @@ class DualHomedFatTreeTopology(Topology):
                     address = encode_fattree_address(pod, edge_index, host_index)
                     host = self.add_host(f"host-{pod}-{edge_index}-{host_index}", address)
                     self.connect_nodes(
-                        host, edge, params.link_rate_bps, params.link_delay_s, queue_factory
+                        host, edge, params.effective_host_rate_bps, params.link_delay_s, queue_factory
                     )
                     self.connect_nodes(
                         host,
                         secondary_edge,
-                        params.link_rate_bps,
+                        params.effective_host_rate_bps,
                         params.link_delay_s,
                         queue_factory,
                     )

@@ -37,13 +37,26 @@ class FatTreeParams:
         hosts_per_edge: servers attached to each edge switch.  ``None`` means
             the canonical ``k/2`` (1:1 subscription).  Setting it to
             ``(k/2) * r`` yields an ``r``:1 over-subscription ratio.
-        link_rate_bps: capacity of every link in the fabric.
+        link_rate_bps: capacity of every link in the fabric (the host/edge and
+            edge/aggregation default).
+        core_oversubscription: divides the aggregation↔core link rate, so a
+            value of 2.0 gives the core layer half the capacity of the layers
+            below it (a 2:1 core:agg over-subscription) without changing the
+            wiring or the shortest-path structure.
+        core_link_rate_bps: explicit aggregation↔core link rate; overrides
+            ``core_oversubscription`` when set.  Together these two knobs
+            express asymmetric fabrics with heterogeneous link speeds.
+        host_link_rate_bps: explicit host↔edge link rate (``None`` = the
+            fabric-wide ``link_rate_bps``).
         link_delay_s: per-hop propagation delay.
     """
 
     k: int = 4
     hosts_per_edge: Optional[int] = None
     link_rate_bps: float = DEFAULT_LINK_RATE_BPS
+    core_oversubscription: float = 1.0
+    core_link_rate_bps: Optional[float] = None
+    host_link_rate_bps: Optional[float] = None
     link_delay_s: float = DEFAULT_LINK_DELAY_S
 
     def __post_init__(self) -> None:
@@ -51,11 +64,29 @@ class FatTreeParams:
             raise ValueError(f"FatTree arity k must be an even integer >= 2, got {self.k}")
         if self.hosts_per_edge is not None and self.hosts_per_edge < 1:
             raise ValueError("hosts_per_edge must be at least 1")
+        if self.core_oversubscription <= 0:
+            raise ValueError("core_oversubscription must be positive")
+        if self.core_link_rate_bps is not None and self.core_link_rate_bps <= 0:
+            raise ValueError("core_link_rate_bps must be positive")
+        if self.host_link_rate_bps is not None and self.host_link_rate_bps <= 0:
+            raise ValueError("host_link_rate_bps must be positive")
 
     @property
     def effective_hosts_per_edge(self) -> int:
         """Hosts attached to each edge switch after applying the default."""
         return self.hosts_per_edge if self.hosts_per_edge is not None else self.k // 2
+
+    @property
+    def effective_core_rate_bps(self) -> float:
+        """The aggregation↔core link rate after over-subscription/overrides."""
+        if self.core_link_rate_bps is not None:
+            return self.core_link_rate_bps
+        return self.link_rate_bps / self.core_oversubscription
+
+    @property
+    def effective_host_rate_bps(self) -> float:
+        """The host↔edge link rate."""
+        return self.host_link_rate_bps if self.host_link_rate_bps is not None else self.link_rate_bps
 
     @property
     def num_pods(self) -> int:
@@ -136,7 +167,7 @@ class FatTreeTopology(Topology):
                     self.connect_nodes(
                         aggregation,
                         core,
-                        params.link_rate_bps,
+                        params.effective_core_rate_bps,
                         params.link_delay_s,
                         queue_factory,
                     )
@@ -158,7 +189,11 @@ class FatTreeTopology(Topology):
                     address = encode_fattree_address(pod, edge_index, host_index)
                     host = self.add_host(f"host-{pod}-{edge_index}-{host_index}", address)
                     self.connect_nodes(
-                        host, edge, params.link_rate_bps, params.link_delay_s, queue_factory
+                        host,
+                        edge,
+                        params.effective_host_rate_bps,
+                        params.link_delay_s,
+                        queue_factory,
                     )
 
         self.build_routes()

@@ -30,6 +30,21 @@ def test_parser_knows_every_documented_subcommand() -> None:
         assert callable(args.handler)
 
 
+def test_parser_knows_the_scenarios_subcommands() -> None:
+    parser = build_parser()
+    listing = parser.parse_args(["scenarios", "list"])
+    assert callable(listing.handler)
+    run = parser.parse_args(["scenarios", "run", "core-link-failure"])
+    assert run.name == "core-link-failure"
+    assert run.scale == "tiny"
+    matrix = parser.parse_args(["scenarios", "matrix"])
+    assert matrix.scenarios == ["baseline", "core-link-failure"]
+    assert matrix.transports == ["tcp", "mptcp", "mmptcp"]
+    assert matrix.workers == 1
+    with pytest.raises(SystemExit):
+        parser.parse_args(["scenarios"])  # sub-subcommand is required
+
+
 def test_run_defaults_to_mmptcp_quick_scale() -> None:
     args = build_parser().parse_args(["run"])
     assert args.protocol == PROTOCOL_MMPTCP
@@ -85,6 +100,22 @@ def test_rows_table_empty() -> None:
     assert _rows_table([]) == "(no rows)"
 
 
+def test_workers_flag_rejects_negative_values_before_any_work(capsys) -> None:
+    # A negative pool size must be an argparse-level error with a clear
+    # message on every sweep-capable sub-command — it must never reach the
+    # process pool.
+    for argv in (
+        ["loadsweep", "--workers", "-2"],
+        ["figure1a", "--workers", "-7"],
+        ["incast", "--workers=-1"],
+        ["scenarios", "matrix", "--workers", "-3"],
+    ):
+        with pytest.raises(SystemExit) as excinfo:
+            main(argv)
+        assert excinfo.value.code == 2
+        assert "--workers must be >= 0" in capsys.readouterr().err
+
+
 # ---------------------------------------------------------------------------
 # End-to-end: one tiny run through main()
 # ---------------------------------------------------------------------------
@@ -107,3 +138,29 @@ def test_main_run_subcommand_executes_and_exports(tmp_path, capsys) -> None:
     payload = json.loads(summary_json.read_text())
     assert payload["protocol"] == "mmptcp"
     assert payload["seed"] == 3
+
+
+def test_main_scenarios_list_shows_the_catalogue(capsys) -> None:
+    assert main(["scenarios", "list"]) == 0
+    output = capsys.readouterr().out
+    for name in ("baseline", "core-link-failure", "incast-burst"):
+        assert name in output
+
+
+def test_main_scenarios_run_unknown_name_fails_cleanly(capsys) -> None:
+    assert main(["scenarios", "run", "definitely-not-a-scenario"]) == 2
+    assert "unknown scenario" in capsys.readouterr().err
+
+
+def test_main_scenarios_matrix_executes_and_exports(tmp_path, capsys) -> None:
+    exit_code = main([
+        "scenarios", "matrix",
+        "--scenarios", "baseline", "core-link-failure",
+        "--transports", "tcp", "mmptcp",
+        "--scale", "tiny", "--export-dir", str(tmp_path),
+    ])
+    assert exit_code == 0
+    output = capsys.readouterr().out
+    assert "Scenario matrix" in output
+    assert "ΔFCT vs tcp" in output  # the per-scenario delta report
+    assert (tmp_path / "scenario_matrix.csv").exists()

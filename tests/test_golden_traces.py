@@ -1,0 +1,157 @@
+"""Golden-trace regression tests.
+
+Two canonical reference runs — a tiny MMPTCP incast burst and a short/long
+run with a mid-experiment core-link failure — are serialised into a
+deterministic text form (canonical trace events + per-flow outcome lines +
+run totals) and compared byte-for-byte against checked-in golden files.
+
+Any refactor that changes packet timing, drop behaviour, fault application
+order, event counts or per-flow outcomes shows up as a diff here instead of
+drifting silently.  If a behaviour change is *intended*, regenerate with::
+
+    python tests/test_golden_traces.py
+
+and commit the updated ``tests/golden/*.golden`` files together with the
+change that explains them.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+if __name__ == "__main__":  # pragma: no cover - regeneration entry point
+    # Running this file directly (outside pytest's pythonpath bootstrap)
+    # must still find the package: put <repo>/src on the path first.
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.incast_study import build_incast_workload_for
+from repro.experiments.runner import ExperimentResult, run_experiment
+from repro.net.faults import link_failure
+from repro.sim.tracing import RecordingTraceSink, canonical_trace
+from repro.traffic.flowspec import PROTOCOL_MMPTCP
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+
+# ---------------------------------------------------------------------------
+# Reference runs
+# ---------------------------------------------------------------------------
+
+
+def _incast_config() -> ExperimentConfig:
+    return ExperimentConfig(
+        fattree_k=4,
+        hosts_per_edge=1,
+        protocol=PROTOCOL_MMPTCP,
+        num_subflows=4,
+        arrival_window_s=0.05,
+        drain_time_s=0.8,
+        initial_cwnd_segments=2,
+        # Shallow queues so the synchronised burst actually overflows them:
+        # the golden trace then pins down drop timing, not just completions.
+        queue_capacity_packets=16,
+        seed=42,
+    )
+
+
+def _link_failure_config() -> ExperimentConfig:
+    return ExperimentConfig(
+        fattree_k=4,
+        hosts_per_edge=1,
+        protocol=PROTOCOL_MMPTCP,
+        num_subflows=4,
+        arrival_window_s=0.1,
+        drain_time_s=1.2,
+        short_flow_rate_per_sender=4.0,
+        long_flow_size_bytes=400_000,
+        max_short_flows=6,
+        initial_cwnd_segments=2,
+        seed=7,
+        fault_schedule=(link_failure(0.03, "core-0", "agg-0-0"),),
+    )
+
+
+def _flow_lines(result: ExperimentResult) -> str:
+    lines = []
+    for record in result.metrics.flows:
+        lines.append(
+            f"flow {record.flow_id} {record.protocol} long={record.is_long} "
+            f"fct={record.completion_time!r} retx={record.retransmitted_packets} "
+            f"rtos={record.rto_events} sent={record.data_packets_sent} "
+            f"bytes={record.bytes_received}\n"
+        )
+    return "".join(lines)
+
+
+def _golden_text(config: ExperimentConfig, incast_fan_in: int = 0) -> str:
+    """The full canonical serialisation of one reference run."""
+    sink = RecordingTraceSink()
+    workload = None
+    if incast_fan_in:
+        workload = build_incast_workload_for(config, incast_fan_in, 50_000, config.protocol)
+    result = run_experiment(config, workload=workload, trace=sink)
+    return (
+        canonical_trace(sink.events)
+        + _flow_lines(result)
+        + f"events_processed={result.events_processed} flows={result.workload_size}\n"
+    )
+
+
+#: name -> zero-argument builder of the golden text.
+GOLDEN_RUNS = {
+    "incast_mmptcp": lambda: _golden_text(_incast_config(), incast_fan_in=4),
+    "linkfail_mmptcp": lambda: _golden_text(_link_failure_config()),
+}
+
+
+# ---------------------------------------------------------------------------
+# Tests
+# ---------------------------------------------------------------------------
+
+
+def _assert_matches_golden(name: str) -> None:
+    golden_path = GOLDEN_DIR / f"{name}.golden"
+    assert golden_path.exists(), (
+        f"golden file {golden_path} is missing; generate it with "
+        "`python tests/test_golden_traces.py`"
+    )
+    actual = GOLDEN_RUNS[name]()
+    expected = golden_path.read_text()
+    assert actual == expected, (
+        f"the {name} reference run diverged from its golden trace; if the "
+        "behaviour change is intended, regenerate with "
+        "`python tests/test_golden_traces.py` and commit the diff"
+    )
+
+
+def test_incast_golden_trace_is_stable() -> None:
+    _assert_matches_golden("incast_mmptcp")
+
+
+def test_link_failure_golden_trace_is_stable() -> None:
+    _assert_matches_golden("linkfail_mmptcp")
+
+
+def test_golden_runs_are_deterministic_within_a_process() -> None:
+    # The serialisation itself must be a pure function of the config: two
+    # back-to-back runs produce identical bytes (packet ids and other
+    # process-global counters must not leak into the canonical form).
+    assert GOLDEN_RUNS["incast_mmptcp"]() == GOLDEN_RUNS["incast_mmptcp"]()
+
+
+def test_link_failure_golden_contains_fault_and_flows() -> None:
+    text = GOLDEN_RUNS["linkfail_mmptcp"]()
+    assert " link_down " in text
+    assert "flow 1 " in text
+    # The canonical link-failure run must still deliver every flow.
+    assert "fct=None" not in text
+
+
+if __name__ == "__main__":  # pragma: no cover - regeneration entry point
+    GOLDEN_DIR.mkdir(exist_ok=True)
+    for name, builder in GOLDEN_RUNS.items():
+        path = GOLDEN_DIR / f"{name}.golden"
+        path.write_text(builder())
+        print(f"wrote {path}")

@@ -1,0 +1,193 @@
+"""Unit tests for link faults, degradation, and failure-aware routing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net.faults import (
+    DEGRADE,
+    FaultEvent,
+    FaultInjector,
+    LINK_DOWN,
+    degradation,
+    link_failure,
+    link_flap,
+)
+from repro.sim.engine import Simulator
+from repro.topology.fattree import FatTreeParams, FatTreeTopology
+from support import make_tcp_transfer
+
+
+def _fattree(simulator: Simulator) -> FatTreeTopology:
+    return FatTreeTopology(simulator, FatTreeParams(k=4, hosts_per_edge=1))
+
+
+# ---------------------------------------------------------------------------
+# FaultEvent validation and helpers
+# ---------------------------------------------------------------------------
+
+
+def test_fault_event_rejects_bad_inputs() -> None:
+    with pytest.raises(ValueError):
+        FaultEvent(time_s=-1.0, kind=LINK_DOWN, node_a="a", node_b="b")
+    with pytest.raises(ValueError):
+        FaultEvent(time_s=0.0, kind="melt", node_a="a", node_b="b")
+    with pytest.raises(ValueError):
+        FaultEvent(time_s=0.0, kind=LINK_DOWN, node_a="a", node_b="a")
+    with pytest.raises(ValueError):
+        FaultEvent(time_s=0.0, kind=DEGRADE, node_a="a", node_b="b", factor=0.0)
+
+
+def test_fault_helpers_build_consistent_schedules() -> None:
+    down, up = link_flap(0.1, 0.2, "a", "b")
+    assert down.kind == "link_down" and up.kind == "link_up"
+    with pytest.raises(ValueError):
+        link_flap(0.2, 0.1, "a", "b")
+    events = degradation(0.1, "a", "b", factor=0.5, restore_s=0.3)
+    assert [event.kind for event in events] == ["degrade", "restore"]
+    with pytest.raises(ValueError):
+        degradation(0.3, "a", "b", factor=0.5, restore_s=0.1)
+    assert link_failure(0.05, "a", "b").kind == "link_down"
+
+
+def test_injector_rejects_unknown_links_at_construction() -> None:
+    simulator = Simulator()
+    topology = _fattree(simulator)
+    with pytest.raises(ValueError):
+        FaultInjector(simulator, topology, (link_failure(0.1, "core-0", "nope"),))
+    with pytest.raises(ValueError):
+        # Both nodes exist but are not adjacent (two core switches).
+        FaultInjector(simulator, topology, (link_failure(0.1, "core-0", "core-1"),))
+
+
+# ---------------------------------------------------------------------------
+# Interface-level semantics
+# ---------------------------------------------------------------------------
+
+
+def test_down_link_stalls_a_transfer_and_recovery_completes_it() -> None:
+    # Healthy transfer completes quickly.
+    harness = make_tcp_transfer(100_000)
+    harness.run(until=5.0)
+    assert harness.receiver.complete
+
+    # Permanent failure mid-transfer: the transfer cannot finish.
+    harness = make_tcp_transfer(100_000)
+    iface_ab = harness.topology.sender.interfaces[0]
+    iface_ba = harness.topology.receiver.interfaces[0]
+    harness.simulator.schedule_at(0.002, iface_ab.set_up, False)
+    harness.simulator.schedule_at(0.002, iface_ba.set_up, False)
+    harness.run(until=5.0)
+    assert not harness.receiver.complete
+    assert iface_ab.fault_drops + harness.topology.sender.dropped_packets > 0
+
+    # Failure followed by recovery: retransmissions finish the job.
+    harness = make_tcp_transfer(100_000)
+    iface_ab = harness.topology.sender.interfaces[0]
+    iface_ba = harness.topology.receiver.interfaces[0]
+    for iface in (iface_ab, iface_ba):
+        harness.simulator.schedule_at(0.002, iface.set_up, False)
+        harness.simulator.schedule_at(0.300, iface.set_up, True)
+    harness.run(until=10.0)
+    assert harness.receiver.complete
+
+
+def test_degraded_link_slows_a_transfer() -> None:
+    fast = make_tcp_transfer(200_000)
+    fast.run(until=10.0)
+    assert fast.receiver.complete
+
+    slow = make_tcp_transfer(200_000)
+    for iface in (slow.topology.sender.interfaces[0], slow.topology.receiver.interfaces[0]):
+        iface.set_rate(iface.rate_bps * 0.25)
+    slow.run(until=10.0)
+    assert slow.receiver.complete
+    assert slow.receiver.completion_time > fast.receiver.completion_time
+
+    with pytest.raises(ValueError):
+        slow.topology.sender.interfaces[0].set_rate(0)
+
+
+# ---------------------------------------------------------------------------
+# Routing rebuild around failures
+# ---------------------------------------------------------------------------
+
+
+def test_link_down_removes_next_hops_and_link_up_restores_them() -> None:
+    simulator = Simulator()
+    topology = _fattree(simulator)
+    agg = topology.node("agg-0-0")
+    core_index = agg.neighbor_to_interface["core-0"]
+    remote_hosts = [host.address for host in topology.hosts if "host-0-" not in host.name]
+    assert any(core_index in agg.routes_to(address) for address in remote_hosts)
+
+    injector = FaultInjector(
+        simulator, topology, link_flap(0.01, 0.02, "core-0", "agg-0-0")
+    )
+    injector.arm()
+    simulator.run(until=0.015)
+
+    iface_ab, iface_ba = topology.interfaces_between("core-0", "agg-0-0")
+    assert not iface_ab.up and not iface_ba.up
+    assert not topology.graph.has_edge("core-0", "agg-0-0")
+    # No forwarding entry anywhere may still point at the dead link.
+    assert all(core_index not in agg.routes_to(address) for address in remote_hosts)
+    # Every destination must still be reachable from every switch (k=4 has
+    # enough redundancy for any single link failure).
+    for switch in topology.switches:
+        for host in topology.hosts:
+            assert switch.routes_to(host.address), (switch.name, host.name)
+
+    simulator.run(until=0.03)
+    assert iface_ab.up and iface_ba.up
+    assert topology.graph.has_edge("core-0", "agg-0-0")
+    assert any(core_index in agg.routes_to(address) for address in remote_hosts)
+    assert injector.applied_events == 2
+
+
+def test_partial_rebuild_tolerates_a_partitioned_host() -> None:
+    simulator = Simulator()
+    topology = _fattree(simulator)
+    host = topology.hosts[0]
+    # Cut the host's only access link: every switch loses its route to it,
+    # but routes to all other hosts survive.
+    topology.graph.remove_edge(host.name, "edge-0-0")
+    topology.rebuild_routes()
+    for switch in topology.switches:
+        assert not switch.routes_to(host.address)
+        for other in topology.hosts[1:]:
+            assert switch.routes_to(other.address)
+
+
+def test_restore_matches_degrade_with_swapped_endpoints() -> None:
+    # Endpoint order is documented as irrelevant: a RESTORE naming the link
+    # as (b, a) must undo a DEGRADE that named it (a, b).
+    simulator = Simulator()
+    topology = _fattree(simulator)
+    iface_ab, iface_ba = topology.interfaces_between("core-0", "agg-0-0")
+    original = iface_ab.rate_bps
+    schedule = (
+        FaultEvent(time_s=0.01, kind=DEGRADE, node_a="core-0", node_b="agg-0-0", factor=0.25),
+        FaultEvent(time_s=0.02, kind="restore", node_a="agg-0-0", node_b="core-0"),
+    )
+    FaultInjector(simulator, topology, schedule).arm()
+    simulator.run(until=0.03)
+    assert iface_ab.rate_bps == pytest.approx(original)
+    assert iface_ba.rate_bps == pytest.approx(original)
+
+
+def test_degrade_and_restore_round_trip_rates() -> None:
+    simulator = Simulator()
+    topology = _fattree(simulator)
+    iface_ab, iface_ba = topology.interfaces_between("core-0", "agg-0-0")
+    original = iface_ab.rate_bps
+    injector = FaultInjector(
+        simulator, topology, degradation(0.01, "core-0", "agg-0-0", 0.25, restore_s=0.02)
+    )
+    injector.arm()
+    simulator.run(until=0.015)
+    assert iface_ab.rate_bps == pytest.approx(original * 0.25)
+    assert iface_ba.rate_bps == pytest.approx(original * 0.25)
+    simulator.run(until=0.03)
+    assert iface_ab.rate_bps == pytest.approx(original)
+    assert iface_ba.rate_bps == pytest.approx(original)

@@ -1,0 +1,124 @@
+"""Property-based tests (hypothesis) for fault-aware routing and forwarding.
+
+Two invariants the fault-injection subsystem must uphold:
+
+1. A switch never forwards a packet out of a down interface, no matter which
+   subset of its links has failed — even *before* any routing rebuild has
+   run (the forwarding-time live re-hash is the last line of defence).
+2. On a k=4 FatTree, every flow of a small MMPTCP workload completes under
+   any single-link failure schedule on the switching fabric (failures of
+   host access links can legitimately partition a host, so the property is
+   over switch↔switch links — exactly the links ECMP balances over).
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import run_experiment
+from repro.net.faults import FaultEvent, LINK_DOWN, LINK_UP
+from repro.net.packet import Packet
+from repro.sim.engine import Simulator
+from repro.topology.fattree import FatTreeParams, FatTreeTopology
+from repro.traffic.flowspec import PROTOCOL_MMPTCP
+
+# ---------------------------------------------------------------------------
+# Shared k=4 fabric for the forwarding property (building one per example
+# would dominate the test's runtime; select_output_interface never mutates).
+# ---------------------------------------------------------------------------
+
+_TOPOLOGY = FatTreeTopology(Simulator(), FatTreeParams(k=4, hosts_per_edge=1))
+_SWITCH_LINKS = _TOPOLOGY.switch_link_names()
+_HOST_ADDRESSES = [host.address for host in _TOPOLOGY.hosts]
+
+
+def _set_links(links, up: bool) -> None:
+    for name_a, name_b in links:
+        iface_ab, iface_ba = _TOPOLOGY.interfaces_between(name_a, name_b)
+        iface_ab.set_up(up)
+        iface_ba.set_up(up)
+
+
+@given(
+    failed=st.lists(st.sampled_from(_SWITCH_LINKS), max_size=8, unique=True),
+    src=st.sampled_from(_HOST_ADDRESSES),
+    dst=st.sampled_from(_HOST_ADDRESSES),
+    src_port=st.integers(1, 2**16 - 1),
+    dst_port=st.integers(1, 2**16 - 1),
+)
+@settings(max_examples=120, deadline=None)
+def test_ecmp_never_selects_a_failed_link(failed, src, dst, src_port, dst_port) -> None:
+    packet = Packet(flow_id=1, src=src, dst=dst, src_port=src_port, dst_port=dst_port)
+    try:
+        _set_links(failed, up=False)
+        for switch in _TOPOLOGY.switches:
+            choice = switch.select_output_interface(packet)
+            assert choice is None or choice.up, (
+                f"{switch.name} picked down interface {choice.name} "
+                f"with failed links {failed}"
+            )
+    finally:
+        _set_links(failed, up=True)
+
+
+@given(
+    src=st.sampled_from(_HOST_ADDRESSES),
+    dst=st.sampled_from(_HOST_ADDRESSES),
+    src_port=st.integers(1, 2**16 - 1),
+)
+@settings(max_examples=60, deadline=None)
+def test_healthy_fabric_always_has_an_output(src, dst, src_port) -> None:
+    # Sanity complement: with nothing failed, every switch can forward
+    # towards every host.
+    packet = Packet(flow_id=1, src=src, dst=dst, src_port=src_port, dst_port=4242)
+    for switch in _TOPOLOGY.switches:
+        assert switch.select_output_interface(packet) is not None
+
+
+# ---------------------------------------------------------------------------
+# End-to-end: flow completion survives any single fabric-link failure.
+# ---------------------------------------------------------------------------
+
+
+def _tiny_mmptcp_config(schedule) -> ExperimentConfig:
+    return ExperimentConfig(
+        fattree_k=4,
+        hosts_per_edge=1,
+        protocol=PROTOCOL_MMPTCP,
+        num_subflows=4,
+        arrival_window_s=0.05,
+        drain_time_s=1.4,
+        short_flow_rate_per_sender=4.0,
+        long_flow_size_bytes=300_000,
+        max_short_flows=4,
+        initial_cwnd_segments=2,
+        seed=11,
+        fault_schedule=schedule,
+    )
+
+
+@given(
+    link=st.sampled_from(_SWITCH_LINKS),
+    down_time=st.floats(min_value=0.0, max_value=0.15, allow_nan=False),
+    recovery_delay=st.one_of(st.none(), st.floats(min_value=0.05, max_value=0.3)),
+)
+@settings(max_examples=8, deadline=None)
+def test_flows_complete_under_any_single_link_failure(link, down_time, recovery_delay) -> None:
+    name_a, name_b = link
+    schedule = [FaultEvent(time_s=down_time, kind=LINK_DOWN, node_a=name_a, node_b=name_b)]
+    if recovery_delay is not None:
+        schedule.append(
+            FaultEvent(
+                time_s=down_time + recovery_delay, kind=LINK_UP, node_a=name_a, node_b=name_b
+            )
+        )
+    result = run_experiment(_tiny_mmptcp_config(tuple(schedule)))
+    incomplete = [
+        record.flow_id for record in result.metrics.flows if not record.completed
+    ]
+    assert not incomplete, (
+        f"flows {incomplete} did not complete with {link} down at {down_time}"
+        f" (recovery={recovery_delay})"
+    )
