@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import pytest
 
+from engine_bench import run_timer_churn
 from repro.net.ecmp import select_path
 from repro.net.packet import FLAG_DATA, Packet
 from repro.net.queues import DropTailQueue
@@ -77,6 +78,46 @@ def test_micro_ecmp_hashing(benchmark) -> None:
 
     total = benchmark(hash_all)
     assert total > 0
+
+
+@pytest.mark.benchmark(group="micro")
+def test_micro_timer_churn_wheel(benchmark) -> None:
+    """RTO-style arm/re-arm churn through the wheel-backed Timer handles."""
+
+    events = benchmark(lambda: run_timer_churn(use_wheel=True, flows=256, ticks=50_000))
+    assert events > 50_000
+
+
+@pytest.mark.benchmark(group="micro")
+def test_micro_timer_churn_naive_heap(benchmark) -> None:
+    """The same churn as naive schedule/cancel heap events (the baseline the
+    wheel is measured against in BENCH_engine.json)."""
+
+    events = benchmark(lambda: run_timer_churn(use_wheel=False, flows=256, ticks=50_000))
+    assert events > 50_000
+
+
+@pytest.mark.benchmark(group="micro")
+def test_micro_cancelled_event_compaction(benchmark) -> None:
+    """Heavy schedule/cancel churn on the raw heap; hygiene must keep the
+    physical queue bounded by the live population, not by total churn."""
+
+    def churn() -> int:
+        simulator = Simulator()
+        survivors = 0
+        event = None
+        for index in range(50_000):
+            simulator.cancel(event)
+            event = simulator.schedule(1.0 + index * 1e-6, lambda: None)
+        # One live event out of 50k scheduled: without compaction the heap
+        # would hold every dead entry until run().
+        assert len(simulator._queue) < 1_000
+        simulator.run()
+        survivors += simulator.events_processed
+        return survivors
+
+    survivors = benchmark(churn)
+    assert survivors == 1
 
 
 @pytest.mark.benchmark(group="micro")

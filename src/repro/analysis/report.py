@@ -70,9 +70,11 @@ def scenario_matrix_markdown(
     :func:`repro.scenarios.runner.matrix_rows`.  Within every scenario each
     protocol is compared against ``baseline_protocol`` on the three axes the
     paper's argument rests on: short-flow completion time, long-flow
-    throughput, and retransmissions.  Delta cells show ``n/a`` when the
-    scenario was not run with the baseline protocol (or for the baseline row
-    itself).
+    throughput, and retransmissions.  Fault drops (packets lost at a down
+    interface, which bypass every queue counter) get their own column so
+    link-failure scenarios do not under-report losses.  Delta cells show
+    ``n/a`` when the scenario was not run with the baseline protocol (or for
+    the baseline row itself).
     """
     headers = [
         "scenario",
@@ -83,6 +85,7 @@ def scenario_matrix_markdown(
         "p99 FCT (ms)",
         "retransmits",
         f"Δretx vs {baseline_protocol}",
+        "fault drops",
         "long tput (Mbps)",
         f"Δtput vs {baseline_protocol}",
     ]
@@ -116,6 +119,7 @@ def scenario_matrix_markdown(
                 row["p99_fct_ms"],
                 row["retransmits"],
                 retx_delta,
+                row.get("fault_drops", 0),
                 row["long_tput_mbps"],
                 tput_delta,
             ]

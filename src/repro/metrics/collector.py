@@ -94,6 +94,15 @@ class ExperimentMetrics:
             return 0.0
         return self.network.loss_rate(layer)
 
+    @property
+    def fault_drops(self) -> int:
+        """Packets lost at down interfaces during the run.
+
+        These losses bypass the queue counters entirely, so without this
+        field the loss columns silently undercount under link failures.
+        """
+        return self.network.total_fault_drops if self.network is not None else 0
+
     def core_utilisation(self) -> float:
         """Average utilisation of core-switch links over the experiment."""
         return self.network.core_utilisation if self.network is not None else 0.0
@@ -125,6 +134,7 @@ class ExperimentMetrics:
             "rto_incidence": self.rto_incidence(),
             "tail_over_200ms": self.tail_fraction(200.0),
             "long_flow_throughput_mbps": self.mean_long_flow_throughput_bps() / 1e6,
+            "fault_drops": float(self.fault_drops),
             "core_loss_rate": self.loss_rate("core"),
             "aggregation_loss_rate": self.loss_rate("aggregation"),
             "edge_loss_rate": self.loss_rate("edge"),

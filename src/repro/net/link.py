@@ -45,6 +45,10 @@ class Interface:
             (they were "on the wire" when the cable was cut).
         bytes_sent / packets_sent: transmission counters (payload + headers).
         fault_drops: packets lost because the interface was down.
+        fault_drops_offered: the subset of ``fault_drops`` rejected at offer
+            time — these never reached the output queue, so they are absent
+            from its ``offered_packets`` counter (loss-rate denominators must
+            add them back; on-the-wire losses are already counted as offered).
         busy_time: cumulative seconds the transmitter has been serialising,
             used to compute link utilisation.
     """
@@ -75,7 +79,11 @@ class Interface:
         self.busy_time = 0.0
         self.up = True
         self.fault_drops = 0
+        self.fault_drops_offered = 0
         self._transmitting = False
+        # At most one packet serialises at a time, so one reusable timer
+        # covers every transmission this interface will ever make.
+        self._tx_timer = simulator.timer(self._finish_transmission)
         self.drop_callback: Optional[Callable[[Packet, "Interface"], None]] = None
 
     # ------------------------------------------------------------------
@@ -97,6 +105,7 @@ class Interface:
             raise RuntimeError(f"interface {self.name} is not connected")
         if not self.up:
             self.fault_drops += 1
+            self.fault_drops_offered += 1
             if self.drop_callback is not None:
                 self.drop_callback(packet, self)
             self.node.note_drop(packet, self)
@@ -123,7 +132,7 @@ class Interface:
         self._transmitting = True
         tx_delay = transmission_delay(packet.size, self.rate_bps)
         self.busy_time += tx_delay
-        self.simulator.schedule(tx_delay, self._finish_transmission, packet)
+        self._tx_timer.arm(tx_delay, packet)
 
     def _finish_transmission(self, packet: Packet) -> None:
         if not self.up:

@@ -21,19 +21,36 @@ from repro.net.switch import Switch
 
 @dataclass
 class LayerLossStats:
-    """Loss statistics aggregated over all switches of one layer."""
+    """Loss statistics aggregated over all switches of one layer.
+
+    ``offered_packets`` / ``dropped_packets`` come from the output queues;
+    ``fault_dropped_packets`` counts packets lost at a *down* interface
+    (offered while down, or on the wire when the link was cut), which would
+    otherwise vanish from the loss accounting.
+    """
 
     layer: str
     offered_packets: int = 0
     dropped_packets: int = 0
     dropped_bytes: int = 0
+    fault_dropped_packets: int = 0
+    #: Subset of ``fault_dropped_packets`` rejected before reaching a queue;
+    #: only these are missing from ``offered_packets``.
+    fault_dropped_offered: int = 0
 
     @property
     def loss_rate(self) -> float:
-        """Fraction of packets offered to this layer's output queues that were dropped."""
-        if self.offered_packets == 0:
+        """Fraction of packets offered to this layer's interfaces that were lost.
+
+        Every fault drop is a loss, but only offer-time fault drops are added
+        to the denominator: a packet lost on the wire was already counted as
+        offered by the queue it passed through, and counting it twice would
+        understate the loss rate.
+        """
+        offered = self.offered_packets + self.fault_dropped_offered
+        if offered == 0:
             return 0.0
-        return self.dropped_packets / self.offered_packets
+        return (self.dropped_packets + self.fault_dropped_packets) / offered
 
 
 @dataclass
@@ -46,6 +63,9 @@ class NetworkSnapshot:
     edge_utilisation: float = 0.0
     total_bytes_carried: int = 0
     total_packets_dropped: int = 0
+    #: Packets lost at down interfaces (hosts and switches); these bypass the
+    #: queues entirely and are *also* included in ``total_packets_dropped``.
+    total_fault_drops: int = 0
 
     def loss_rate(self, layer: str) -> float:
         """Loss rate for one switch layer (0.0 if the layer is absent)."""
@@ -78,8 +98,13 @@ class NetworkMonitor:
                 stats.offered_packets += interface.queue.stats.offered_packets
                 stats.dropped_packets += interface.queue.stats.dropped_packets
                 stats.dropped_bytes += interface.queue.stats.dropped_bytes
+                stats.fault_dropped_packets += interface.fault_drops
+                stats.fault_dropped_offered += interface.fault_drops_offered
                 snapshot.total_bytes_carried += interface.bytes_sent
-                snapshot.total_packets_dropped += interface.queue.stats.dropped_packets
+                snapshot.total_packets_dropped += (
+                    interface.queue.stats.dropped_packets + interface.fault_drops
+                )
+                snapshot.total_fault_drops += interface.fault_drops
 
         core_switches = [switch for switch in self.switches if switch.layer == "core"]
         edge_switches = [switch for switch in self.switches if switch.layer == "edge"]
@@ -97,7 +122,10 @@ class NetworkMonitor:
         for host in self.hosts:
             for interface in host.interfaces:
                 snapshot.total_bytes_carried += interface.bytes_sent
-                snapshot.total_packets_dropped += interface.queue.stats.dropped_packets
+                snapshot.total_packets_dropped += (
+                    interface.queue.stats.dropped_packets + interface.fault_drops
+                )
+                snapshot.total_fault_drops += interface.fault_drops
 
         return snapshot
 

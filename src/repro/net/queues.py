@@ -4,8 +4,9 @@ Three disciplines are provided:
 
 * :class:`DropTailQueue` — the classic bounded FIFO (per-port static buffer).
 * :class:`EcnQueue` — a drop-tail queue that additionally marks ECN-capable
-  packets with Congestion Experienced once the instantaneous occupancy
-  exceeds a threshold ``K`` (the DCTCP marking scheme).
+  packets with Congestion Experienced when the instantaneous occupancy found
+  on arrival (not counting the arriving packet) exceeds a threshold ``K``
+  (the DCTCP marking scheme).
 * :class:`SharedBufferQueue` + :class:`SharedBufferPool` — per-port queues
   drawing from a switch-wide shared memory pool with a dynamic-threshold
   admission policy, modelling the shared-memory commodity switches the
@@ -112,7 +113,12 @@ class Queue:
         raise NotImplementedError
 
     def _mark(self, packet: Packet) -> None:
-        """Optionally set ECN bits on an accepted packet (default: no-op)."""
+        """Optionally set ECN bits on an accepted packet (default: no-op).
+
+        Runs before the packet is appended, so ``len(self._packets)`` is the
+        occupancy the packet finds on arrival — the quantity DCTCP's marking
+        rule is defined on.
+        """
 
     def _on_accepted(self, packet: Packet) -> None:
         """Hook called after a packet is stored (default: no-op)."""
@@ -154,9 +160,15 @@ class DropTailQueue(Queue):
 class EcnQueue(DropTailQueue):
     """Drop-tail queue with DCTCP-style instantaneous ECN marking.
 
-    ECN-capable packets are marked with Congestion Experienced when the queue
-    occupancy (in packets) at arrival time is at or above ``marking_threshold``.
-    Non-ECN-capable packets are never marked; they simply occupy the buffer.
+    An ECN-capable packet is marked with Congestion Experienced when the
+    queue occupancy it finds on arrival — the packets already buffered,
+    excluding itself — strictly exceeds ``marking_threshold`` (DCTCP's
+    "queue occupancy greater than K upon arrival").  Non-ECN-capable packets
+    are never marked; they simply occupy the buffer.
+
+    Note: this used to mark at ``>= K`` (one packet early, the ns-3 RED
+    ``minTh == maxTh`` convention); the strict comparison matches the DCTCP
+    paper's marking rule and this class's documentation.
     """
 
     def __init__(
@@ -171,7 +183,7 @@ class EcnQueue(DropTailQueue):
         self.marking_threshold = marking_threshold
 
     def _mark(self, packet: Packet) -> None:
-        if packet.ecn_capable and len(self._packets) >= self.marking_threshold:
+        if packet.ecn_capable and len(self._packets) > self.marking_threshold:
             packet.ecn_ce = True
             self.stats.ecn_marked_packets += 1
 
@@ -223,8 +235,10 @@ class SharedBufferPool:
 class SharedBufferQueue(Queue):
     """Per-port queue whose admission is governed by a :class:`SharedBufferPool`.
 
-    Optionally also applies DCTCP-style ECN marking at ``marking_threshold``
-    packets so that DCTCP can be evaluated on shared-memory switches too.
+    Optionally also applies DCTCP-style ECN marking (arrival occupancy
+    strictly above ``marking_threshold`` packets, same rule as
+    :class:`EcnQueue`) so that DCTCP can be evaluated on shared-memory
+    switches too.
     """
 
     def __init__(self, pool: SharedBufferPool, marking_threshold: Optional[int] = None) -> None:
@@ -239,7 +253,7 @@ class SharedBufferQueue(Queue):
         if (
             self.marking_threshold is not None
             and packet.ecn_capable
-            and len(self._packets) >= self.marking_threshold
+            and len(self._packets) > self.marking_threshold
         ):
             packet.ecn_ce = True
             self.stats.ecn_marked_packets += 1

@@ -139,6 +139,7 @@ def matrix_rows(cells: Sequence[ScenarioCell]) -> List[Dict[str, object]]:
                 "rto_incidence": metrics.rto_incidence(),
                 "retransmits": retransmits,
                 "rtos": rtos,
+                "fault_drops": metrics.fault_drops,
                 "long_tput_mbps": metrics.mean_long_flow_throughput_bps() / 1e6,
             }
         )

@@ -2,6 +2,7 @@
 
 from repro.sim.engine import Event, SimulationError, Simulator
 from repro.sim.randomness import RandomStreams, derive_seed
+from repro.sim.timerwheel import Timer, TimerWheel
 from repro.sim.tracing import (
     NULL_SINK,
     CallbackTraceSink,
@@ -14,6 +15,8 @@ __all__ = [
     "Event",
     "SimulationError",
     "Simulator",
+    "Timer",
+    "TimerWheel",
     "RandomStreams",
     "derive_seed",
     "TraceSink",

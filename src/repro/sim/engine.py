@@ -1,16 +1,21 @@
 """Discrete-event simulation engine.
 
-The engine is a classic event-heap design: callbacks are scheduled at
-absolute simulated times, and :meth:`Simulator.run` pops them in
-chronological order (ties broken by insertion order so behaviour is
-deterministic).  Everything else in the library — links, queues, transport
-timers, traffic generators — is built on these two operations:
+The engine merges two event sources, popped in global chronological order
+(ties broken by a shared insertion-sequence counter so behaviour is
+deterministic):
 
-* ``simulator.schedule(delay, callback, *args)``
-* ``simulator.schedule_at(time, callback, *args)``
+* a classic event heap for one-shot callbacks —
+  ``simulator.schedule(delay, callback, *args)`` /
+  ``simulator.schedule_at(time, callback, *args)``;
+* a hierarchical timer wheel (:mod:`repro.sim.timerwheel`) for *reusable*
+  :class:`~repro.sim.timerwheel.Timer` handles —
+  ``simulator.timer(callback)`` then ``timer.arm(delay, *args)`` — the
+  right tool for retransmission/delayed-ACK style timers that are armed and
+  cancelled once per packet and almost never fire.
 
-Events can be cancelled (used heavily by retransmission timers) and the run
-can be bounded by simulated time, wall-clock time or event count.
+Events can be cancelled (lazily: the entry stays in the heap until popped or
+compacted) and the run can be bounded by simulated time, wall-clock time or
+event count.
 
 The event type and the run loop are the hottest code in the whole library
 (every simulated packet costs several events), so both are written for
@@ -18,14 +23,22 @@ speed: :class:`Event` is a hand-rolled ``__slots__`` class whose ``__lt__``
 compares the two hot fields directly instead of building tuples the way a
 ``dataclass(order=True)`` does, and :meth:`Simulator.run` binds the queue
 and ``heappop`` to locals and only performs the horizon/budget checks the
-caller asked for.
+caller asked for.  Heap hygiene keeps lazy cancellation honest: once
+cancelled entries exceed half the heap (and a small floor), the heap is
+compacted in one O(n) pass, so neither ``heappop`` nor
+:meth:`Simulator.peek_next_time` degrades with cancellation churn.
 """
 
 from __future__ import annotations
 
 import time as _wallclock
-from heapq import heappop, heappush
+from heapq import heapify, heappop, heappush
 from typing import Any, Callable, Optional
+
+from repro.sim.timerwheel import Timer, TimerWheel
+
+#: Heaps smaller than this are never compacted — not worth the pass.
+_COMPACTION_FLOOR = 64
 
 
 class SimulationError(RuntimeError):
@@ -90,7 +103,12 @@ class Event:
         )
 
     def cancel(self) -> None:
-        """Mark the event so the engine skips it when it is popped."""
+        """Mark the event so the engine skips it when it is popped.
+
+        Prefer :meth:`Simulator.cancel`, which additionally feeds the heap's
+        compaction accounting; cancelling through the event alone is still
+        correct but invisible to the hygiene heuristics.
+        """
         self.cancelled = True
 
 
@@ -107,7 +125,10 @@ class Simulator:
         self._sequence: int = 0
         self._running: bool = False
         self._stopped: bool = False
+        self._heap_dead: int = 0
+        self._wheel = TimerWheel()
         self.events_processed: int = 0
+        self.heap_compactions: int = 0
 
     # ------------------------------------------------------------------
     # Clock
@@ -117,6 +138,11 @@ class Simulator:
     def now(self) -> float:
         """Current simulated time in seconds."""
         return self._now
+
+    @property
+    def is_running(self) -> bool:
+        """True while :meth:`run` is executing events."""
+        return self._running
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -144,10 +170,37 @@ class Simulator:
         heappush(self._queue, event)
         return event
 
+    def timer(self, callback: Callable[..., None]) -> Timer:
+        """Create a reusable (initially disarmed) timer for ``callback``.
+
+        Arm/re-arm/cancel cycles on the returned handle go through the timer
+        wheel instead of allocating heap entries, which is dramatically
+        cheaper for churn-heavy timers (RTO, delayed ACK).  Each ``arm``
+        draws one sequence number from the same counter as ``schedule``, so
+        timers and events interleave deterministically.
+        """
+        return Timer(self, callback)
+
     def cancel(self, event: Optional[Event]) -> None:
-        """Cancel a previously scheduled event (``None`` is tolerated)."""
-        if event is not None:
+        """Cancel a previously scheduled event (``None`` is tolerated).
+
+        Cancellation is lazy, but the engine counts it and compacts the heap
+        once cancelled entries outnumber live ones (above a small floor), so
+        heavy schedule/cancel churn cannot degrade ``heappop``.
+        """
+        if event is not None and not event.cancelled:
             event.cancelled = True
+            dead = self._heap_dead + 1
+            self._heap_dead = dead
+            if dead > _COMPACTION_FLOOR and dead * 2 > len(self._queue):
+                self._compact()
+
+    def _compact(self) -> None:
+        """Rebuild the heap without cancelled entries (O(live) pass)."""
+        self._queue = [event for event in self._queue if not event.cancelled]
+        heapify(self._queue)
+        self._heap_dead = 0
+        self.heap_compactions += 1
 
     # ------------------------------------------------------------------
     # Execution
@@ -161,6 +214,12 @@ class Simulator:
     ) -> None:
         """Run the event loop.
 
+        A stop request (:meth:`stop`) is honoured by exactly one run: the
+        run it interrupts, or — when issued while no run is active — the
+        next ``run()`` call, which then returns before processing anything.
+        Either way the request is consumed on return, so a subsequent
+        ``run()`` proceeds normally.
+
         Args:
             until: stop once simulated time would exceed this value.  Events
                 scheduled exactly at ``until`` are executed.
@@ -169,59 +228,128 @@ class Simulator:
                 (checked every 4096 events); useful as a safety net in
                 benchmarks.
         """
+        if self._running:
+            raise SimulationError("run() called re-entrantly from a callback")
+        if self._stopped:
+            # stop() was requested before this run started: consume it.
+            self._stopped = False
+            return
         self._running = True
-        self._stopped = False
-        processed_this_run = 0
-        wall_start = _wallclock.monotonic() if wallclock_limit is not None else 0.0
+        try:
+            processed_this_run = 0
+            wall_start = _wallclock.monotonic() if wallclock_limit is not None else 0.0
 
-        queue = self._queue
-        pop = heappop
-        bounded = max_events is not None or wallclock_limit is not None
+            queue = self._queue
+            wheel = self._wheel
+            pop = heappop
+            bounded = max_events is not None or wallclock_limit is not None
 
-        while queue and not self._stopped:
-            event = queue[0]
-            if until is not None and event.time > until:
-                # Advance the clock to the horizon so repeated run() calls
-                # with increasing horizons behave intuitively.
-                self._now = until
-                break
-            pop(queue)
-            if event.cancelled:
-                continue
-            self._now = event.time
-            event.callback(*event.args)
-            self.events_processed += 1
-            if bounded:
-                processed_this_run += 1
-                if max_events is not None and processed_this_run >= max_events:
-                    break
-                if wallclock_limit is not None and processed_this_run % 4096 == 0:
-                    if _wallclock.monotonic() - wall_start > wallclock_limit:
+            while not self._stopped:
+                # A cancel() inside the previous callback may have compacted
+                # (and therefore replaced) the heap; re-bind before touching it.
+                queue = self._queue
+                # Lazily discard cancelled events sitting at the heap head.
+                while queue and queue[0].cancelled:
+                    pop(queue)
+                    if self._heap_dead:
+                        self._heap_dead -= 1
+                event = queue[0] if queue else None
+                entry = wheel.peek() if wheel.live_count else None
+                if event is not None and (
+                    entry is None
+                    or event.time < entry[0]
+                    or (event.time == entry[0] and event.sequence < entry[1])
+                ):
+                    when = event.time
+                    if until is not None and when > until:
+                        # Advance the clock to the horizon so repeated run()
+                        # calls with increasing horizons behave intuitively.
+                        self._now = until
                         break
-
-        if not queue and until is not None and self._now < until:
-            self._now = until
-        self._running = False
+                    pop(queue)
+                    self._now = when
+                    event.callback(*event.args)
+                elif entry is not None:
+                    when = entry[0]
+                    if until is not None and when > until:
+                        self._now = until
+                        break
+                    timer = entry[2]
+                    wheel.pop()
+                    self._now = when
+                    timer.callback(*timer.args)
+                else:
+                    # Both sources exhausted.
+                    if until is not None and self._now < until:
+                        self._now = until
+                    break
+                self.events_processed += 1
+                if bounded:
+                    processed_this_run += 1
+                    if max_events is not None and processed_this_run >= max_events:
+                        break
+                    if wallclock_limit is not None and processed_this_run % 4096 == 0:
+                        if _wallclock.monotonic() - wall_start > wallclock_limit:
+                            break
+        finally:
+            self._stopped = False
+            self._running = False
 
     def stop(self) -> None:
-        """Request the currently running event loop to stop after the current event."""
+        """Request a halt after the current event.
+
+        Valid at any time: during a run it stops that run; outside a run it
+        makes the *next* ``run()`` return immediately (processing nothing).
+        The request is consumed by whichever run honours it.
+        """
         self._stopped = True
 
+    @property
+    def stop_requested(self) -> bool:
+        """True if a stop request is pending (not yet consumed by a run)."""
+        return self._stopped
+
     def pending_events(self) -> int:
-        """Number of not-yet-cancelled events still waiting in the queue."""
-        return sum(1 for event in self._queue if not event.cancelled)
+        """Number of not-yet-cancelled events and armed timers still waiting."""
+        return (
+            sum(1 for event in self._queue if not event.cancelled)
+            + self._wheel.live_count
+        )
 
     def peek_next_time(self) -> Optional[float]:
-        """Simulated time of the next live event, or ``None`` if the queue is empty."""
-        for event in sorted(self._queue):
-            if not event.cancelled:
-                return event.time
-        return None
+        """Simulated time of the next live event, or ``None`` if none is pending.
+
+        Amortised O(1): cancelled heap heads are popped (each at most once)
+        instead of sorting the queue, and the timer wheel keeps its own
+        earliest-entry cursor.
+        """
+        queue = self._queue
+        while queue and queue[0].cancelled:
+            heappop(queue)
+            if self._heap_dead:
+                self._heap_dead -= 1
+        entry = self._wheel.peek() if self._wheel.live_count else None
+        head = queue[0] if queue else None
+        if head is None:
+            return entry[0] if entry is not None else None
+        if entry is None or head.time <= entry[0]:
+            return head.time
+        return entry[0]
 
     def reset(self) -> None:
-        """Discard all pending events and rewind the clock to zero."""
+        """Discard all pending work and rewind the clock to zero.
+
+        Pending events are dropped, armed timers are disarmed (their handles
+        stay usable), the stop flag is cleared and counters rewind.  Calling
+        ``reset()`` from inside a running event loop is an error — the loop
+        cannot survive its queue being torn down underneath it.
+        """
+        if self._running:
+            raise SimulationError("reset() called while the event loop is running")
         self._queue.clear()
+        self._wheel.clear()
         self._now = 0.0
         self._sequence = 0
+        self._heap_dead = 0
         self.events_processed = 0
         self._stopped = False

@@ -1,0 +1,438 @@
+"""Reusable timer handles backed by a hierarchical timer wheel.
+
+Retransmission timers are the pathological workload for a plain event heap:
+every in-flight segment arms a timer that is almost always cancelled and
+re-armed a few microseconds later, so the heap fills with dead entries that
+``heappop`` must still sift through, each sift paying a Python-level
+``Event.__lt__`` call.  A :class:`Timer` is a *reusable* handle — arming,
+re-arming and cancelling never allocates a new heap entry:
+
+* arming appends a ``(time, sequence, timer)`` tuple to a wheel bucket
+  (an O(1) ``list.append``; the bucket-key heap holds small ints whose
+  comparisons run in C);
+* cancelling and re-arming just bump the handle's ``sequence`` — the old
+  bucket entry becomes *stale* and is skipped when its slot is reached;
+* stale entries are swept (buckets rebuilt) once they outnumber live
+  timers, so a churn-heavy run cannot accumulate garbage.
+
+The wheel is hierarchical: a fine level whose slots are ``tick`` seconds
+wide covers the near future (RTO and delayed-ACK horizons), a coarse level
+covers minutes, and a plain overflow heap catches anything further out.
+Coarse buckets are *cascaded* — re-bucketed into the fine level — when the
+simulation clock approaches their range, so far-future timers are touched
+O(levels) times, not once per slot.
+
+Determinism contract: a timer armed at time ``t`` with sequence ``s`` fires
+in exactly the same global ``(t, s)`` order as a heap event would, and each
+``arm`` consumes one sequence number from the simulator's shared counter —
+the same consumption pattern as ``schedule`` + ``cancel`` — so converting a
+call site from raw events to timers does not perturb event ordering
+anywhere else in the run (golden traces stay byte-identical).
+
+The implementation keeps buckets in dictionaries keyed by the *absolute*
+slot index (``int(time / tick)``), with a lazy min-heap of occupied keys per
+level.  Slot indices are monotonic in time (IEEE division and truncation
+are monotonic), which is all the ordering argument needs; the sorted "due"
+buffer extracted from the earliest occupied slot is what :meth:`peek`
+serves, and the class invariant is that every live entry outside the due
+buffer fires no earlier than every entry inside it.
+"""
+
+from __future__ import annotations
+
+from bisect import insort
+from heapq import heapify, heappop, heappush
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.engine import Simulator
+
+#: A scheduled incarnation of a timer: ``(fire_time, sequence, handle)``.
+#: The entry is *live* while ``handle.sequence == sequence``; any cancel or
+#: re-arm bumps the handle's sequence and orphans the tuple in place.
+TimerEntry = Tuple[float, int, "Timer"]
+
+_INF = float("inf")
+
+
+class Timer:
+    """A reusable arm/re-arm/cancel handle for a single pending callback.
+
+    A timer is created once (typically per connection or per interface) and
+    then cycled through ``arm``/``cancel`` for its whole life.  At most one
+    incarnation is pending at a time: arming an armed timer atomically
+    replaces the previous deadline.
+
+    Attributes:
+        callback: invoked as ``callback(*args)`` when the timer fires.
+        args: positional arguments captured by the most recent ``arm``.
+        time: absolute fire time of the current incarnation (valid only
+            while ``armed``).
+        sequence: tie-break sequence of the current incarnation, drawn from
+            the simulator's shared counter; ``-1`` while disarmed.
+    """
+
+    __slots__ = ("simulator", "callback", "args", "time", "sequence")
+
+    def __init__(self, simulator: "Simulator", callback: Callable[..., None]) -> None:
+        self.simulator = simulator
+        self.callback = callback
+        self.args: tuple = ()
+        self.time = 0.0
+        self.sequence = -1
+
+    # ------------------------------------------------------------------
+
+    @property
+    def armed(self) -> bool:
+        """True while an incarnation of this timer is pending."""
+        return self.sequence >= 0
+
+    @property
+    def when(self) -> Optional[float]:
+        """Absolute fire time of the pending incarnation, or ``None``."""
+        return self.time if self.sequence >= 0 else None
+
+    def arm(self, delay: float, *args: Any) -> "Timer":
+        """(Re-)arm the timer ``delay`` seconds from now.
+
+        Replaces any pending incarnation; ``args`` become the callback
+        arguments for this firing.  Returns ``self`` for chaining.  This is
+        the hottest call in an RTO-heavy run (once per ACK), so the whole
+        arm path is two Python calls: this method and the wheel's.
+        """
+        simulator = self.simulator
+        if delay < 0:
+            from repro.sim.engine import SimulationError
+
+            raise SimulationError(f"cannot arm timer with negative delay {delay!r}")
+        simulator._wheel.arm(self, simulator._now + delay, args, simulator)
+        return self
+
+    def arm_at(self, when: float, *args: Any) -> "Timer":
+        """(Re-)arm the timer at absolute simulated time ``when``."""
+        simulator = self.simulator
+        if when < simulator._now:
+            from repro.sim.engine import SimulationError
+
+            raise SimulationError(
+                f"cannot arm timer in the past: now={simulator._now!r}, requested={when!r}"
+            )
+        simulator._wheel.arm(self, when, args, simulator)
+        return self
+
+    def cancel(self) -> None:
+        """Disarm the timer (idempotent; a disarmed timer can be re-armed)."""
+        if self.sequence >= 0:
+            self.sequence = -1
+            wheel = self.simulator._wheel
+            wheel.live_count -= 1
+            wheel._note_stale()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = f"t={self.time!r} seq={self.sequence}" if self.armed else "disarmed"
+        return f"Timer({self.callback!r}, {state})"
+
+
+class TimerWheel:
+    """Hierarchical timer wheel holding every armed :class:`Timer`.
+
+    Levels (all keyed by absolute slot index, no rings):
+
+    * level 0 — slots ``tick`` seconds wide, used for deadlines within
+      ``tick * slots_per_level`` of now (the RTO/delayed-ACK horizon);
+    * level 1 — slots ``tick * slots_per_level`` wide, for deadlines within
+      the squared horizon (backed-off RTOs up to ``max_rto``);
+    * overflow — a plain heap of exact entries for anything further out.
+
+    The engine only calls :meth:`peek` and :meth:`pop`; arming goes through
+    :class:`Timer`, which delegates to :meth:`insert`.
+    """
+
+    __slots__ = (
+        "tick",
+        "slots_per_level",
+        "_span0",
+        "_span1",
+        "_tick1",
+        "_buckets0",
+        "_keys0",
+        "_buckets1",
+        "_keys1",
+        "_overflow",
+        "_due",
+        "_due_idx",
+        "_due_end",
+        "live_count",
+        "_stale",
+        "sweeps",
+    )
+
+    def __init__(self, tick: float = 1e-3, slots_per_level: int = 256) -> None:
+        if tick <= 0:
+            raise ValueError("tick must be positive")
+        if slots_per_level < 2:
+            raise ValueError("slots_per_level must be at least 2")
+        self.tick = tick
+        self.slots_per_level = slots_per_level
+        self._tick1 = tick * slots_per_level
+        self._span0 = tick * slots_per_level
+        self._span1 = self._tick1 * slots_per_level
+        #: absolute slot index -> unordered list of entries.
+        self._buckets0: Dict[int, List[TimerEntry]] = {}
+        self._keys0: List[int] = []  # min-heap of occupied level-0 slots
+        self._buckets1: Dict[int, List[TimerEntry]] = {}
+        self._keys1: List[int] = []
+        self._overflow: List[TimerEntry] = []  # exact-entry heap
+        #: entries extracted from the earliest slot, sorted by (time, seq);
+        #: ``_due[_due_idx:]`` is the unserved tail.  Every live entry still
+        #: in a bucket fires at or after ``_due_end``.
+        self._due: List[TimerEntry] = []
+        self._due_idx = 0
+        self._due_end = -_INF
+        self.live_count = 0
+        self._stale = 0
+        self.sweeps = 0  # diagnostic: how many hygiene sweeps have run
+
+    # ------------------------------------------------------------------
+    # Insertion
+    # ------------------------------------------------------------------
+
+    def arm(self, timer: Timer, when: float, args: tuple, simulator: "Simulator") -> None:
+        """Arm/re-arm ``timer`` at absolute time ``when`` (hot path, O(1)).
+
+        Allocates the incarnation's sequence number from the simulator's
+        shared counter, updates the live/stale accounting and files the
+        entry — all in one call, because this runs once per ACK in an
+        RTO-heavy simulation.
+        """
+        sequence = simulator._sequence
+        simulator._sequence = sequence + 1
+        rearmed = timer.sequence >= 0
+        # Bump the handle's sequence *before* any stale accounting: a sweep
+        # triggered below must already see the old entry as orphaned, or it
+        # would survive the rebuild uncounted and skew the stale counter.
+        timer.time = when
+        timer.sequence = sequence
+        timer.args = args
+        if rearmed:
+            stale = self._stale + 1
+            self._stale = stale
+            if stale > 64 and stale > self.live_count:
+                self._sweep()
+        else:
+            self.live_count += 1
+        self.insert(when, sequence, timer, simulator._now)
+
+    def insert(self, when: float, sequence: int, timer: Timer, now: float) -> None:
+        """File one armed incarnation into the right level."""
+        entry = (when, sequence, timer)
+        if when < self._due_end:
+            # The due buffer's slot is still being served and this deadline
+            # falls inside it: merge directly so peek() stays the global min.
+            insort(self._due, entry, self._due_idx)
+            return
+        delta = when - now
+        if delta < self._span0:
+            self._insert_level(entry, self._buckets0, self._keys0, self.tick)
+        elif delta < self._span1:
+            self._insert_level(entry, self._buckets1, self._keys1, self._tick1)
+        else:
+            heappush(self._overflow, entry)
+
+    @staticmethod
+    def _insert_level(
+        entry: TimerEntry,
+        buckets: Dict[int, List[TimerEntry]],
+        keys: List[int],
+        tick: float,
+    ) -> None:
+        key = int(entry[0] / tick)
+        bucket = buckets.get(key)
+        if bucket is None:
+            buckets[key] = [entry]
+            heappush(keys, key)
+        else:
+            bucket.append(entry)
+
+    # ------------------------------------------------------------------
+    # Serving (engine-facing)
+    # ------------------------------------------------------------------
+
+    def peek(self) -> Optional[TimerEntry]:
+        """The earliest live entry by ``(time, sequence)``, or ``None``.
+
+        Amortised O(1): stale due-buffer heads are skipped destructively and
+        each bucket entry is extracted into the due buffer exactly once.
+        The fast path — a live entry already at the due head — is a couple
+        of loads, because the engine calls this once per processed event.
+        """
+        due = self._due
+        idx = self._due_idx
+        if idx < len(due):
+            entry = due[idx]
+            if entry[2].sequence == entry[1]:
+                return entry
+        return self._peek_slow()
+
+    def _peek_slow(self) -> Optional[TimerEntry]:
+        if self.live_count == 0:
+            return None
+        while True:
+            due = self._due
+            idx = self._due_idx
+            length = len(due)
+            while idx < length:
+                entry = due[idx]
+                if entry[2].sequence == entry[1]:
+                    self._due_idx = idx
+                    return entry
+                idx += 1
+                self._stale -= 1
+            self._due_idx = idx
+            self._refill_due()
+
+    def pop(self) -> TimerEntry:
+        """Remove and return the entry :meth:`peek` would serve, disarming it."""
+        entry = self.peek()
+        if entry is None:
+            raise IndexError("pop from an empty timer wheel")
+        self._due_idx += 1
+        self.live_count -= 1
+        entry[2].sequence = -1
+        return entry
+
+    def _refill_due(self) -> None:
+        """Extract the earliest occupied slot into the sorted due buffer.
+
+        Cascades coarse buckets / overflow entries into level 0 first, so
+        that when a slot is extracted no other structure holds an entry
+        firing before that slot's end.  Only called with ``live_count > 0``,
+        which guarantees termination with a non-empty due buffer.
+        """
+        buckets0, keys0 = self._buckets0, self._keys0
+        buckets1, keys1 = self._buckets1, self._keys1
+        overflow = self._overflow
+        tick = self.tick
+        while True:
+            while keys0 and keys0[0] not in buckets0:
+                heappop(keys0)  # key emptied by a sweep
+            end0 = (keys0[0] + 1) * tick if keys0 else _INF
+            while keys1 and keys1[0] not in buckets1:
+                heappop(keys1)
+            if keys1 and keys1[0] * self._tick1 < end0:
+                # The coarse bucket may hold entries before end0: cascade it.
+                for entry in buckets1.pop(heappop(keys1)):
+                    if entry[2].sequence == entry[1]:
+                        self._insert_level(entry, buckets0, keys0, tick)
+                    else:
+                        self._stale -= 1
+                continue
+            if overflow and overflow[0][0] < end0:
+                # Promote a coarse-slot-sized window of overflow entries.
+                bound = min(end0, overflow[0][0] + self._tick1)
+                while overflow and overflow[0][0] < bound:
+                    entry = heappop(overflow)
+                    if entry[2].sequence == entry[1]:
+                        self._insert_level(entry, buckets0, keys0, tick)
+                    else:
+                        self._stale -= 1
+                continue
+            # Level 0 now provably holds the earliest remaining entries.
+            key = heappop(keys0)
+            extracted = buckets0.pop(key)
+            live = [entry for entry in extracted if entry[2].sequence == entry[1]]
+            self._stale -= len(extracted) - len(live)
+            if not live:
+                continue
+            live.sort()
+            self._due = live
+            self._due_idx = 0
+            self._due_end = (key + 1) * tick
+            return
+
+    # ------------------------------------------------------------------
+    # Hygiene
+    # ------------------------------------------------------------------
+
+    def _note_stale(self) -> None:
+        stale = self._stale + 1
+        self._stale = stale
+        if stale > 64 and stale > self.live_count:
+            self._sweep()
+
+    def _sweep(self) -> None:
+        """Rebuild every bucket without its stale entries.
+
+        O(total entries); triggered only when stale entries outnumber live
+        timers, so the amortised cost per cancellation is O(1).
+        """
+
+        def _live(entries: List[TimerEntry]) -> List[TimerEntry]:
+            return [entry for entry in entries if entry[2].sequence == entry[1]]
+
+        for buckets, keys in (
+            (self._buckets0, self._keys0),
+            (self._buckets1, self._keys1),
+        ):
+            dead_keys = []
+            for key, entries in buckets.items():
+                kept = _live(entries)
+                if kept:
+                    buckets[key] = kept
+                else:
+                    dead_keys.append(key)
+            for key in dead_keys:
+                del buckets[key]
+            # Stale keys linger in the heap and are lazily discarded by
+            # _refill_due; rebuilding keeps it tight instead.
+            keys[:] = list(buckets)
+            heapify(keys)
+        kept_overflow = _live(self._overflow)
+        heapify(kept_overflow)
+        self._overflow = kept_overflow
+        self._due = _live(self._due[self._due_idx :])  # already sorted
+        self._due_idx = 0
+        self._stale = 0
+        self.sweeps += 1
+
+    # ------------------------------------------------------------------
+    # Introspection / lifecycle
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self.live_count
+
+    @property
+    def stale_entries(self) -> int:
+        """Orphaned (cancelled / re-armed) entries awaiting a sweep."""
+        return self._stale
+
+    def physical_size(self) -> int:
+        """Total entries held, live and stale (bounded-growth assertions)."""
+        total = len(self._due) - self._due_idx + len(self._overflow)
+        for buckets in (self._buckets0, self._buckets1):
+            for entries in buckets.values():
+                total += len(entries)
+        return total
+
+    def clear(self) -> None:
+        """Disarm every pending timer and drop all entries (engine reset)."""
+        for buckets in (self._buckets0, self._buckets1):
+            for entries in buckets.values():
+                for entry in entries:
+                    if entry[2].sequence == entry[1]:
+                        entry[2].sequence = -1
+            buckets.clear()
+        for container in (self._overflow, self._due[self._due_idx :]):
+            for entry in container:
+                if entry[2].sequence == entry[1]:
+                    entry[2].sequence = -1
+        self._keys0.clear()
+        self._keys1.clear()
+        self._overflow.clear()
+        self._due = []
+        self._due_idx = 0
+        self._due_end = -_INF
+        self.live_count = 0
+        self._stale = 0

@@ -22,7 +22,7 @@ from typing import Callable, Dict, Optional, Protocol, runtime_checkable
 
 from repro.net.host import Host
 from repro.net.packet import FLAG_DATA, FLAG_SYN, Packet
-from repro.sim.engine import Event, Simulator
+from repro.sim.engine import Simulator
 from repro.sim.tracing import NULL_SINK, TraceSink
 from repro.transport.base import Endpoint, SenderStats, TcpConfig
 from repro.transport.cc.base import (
@@ -108,7 +108,10 @@ class TcpSender(Endpoint):
         self.rto_estimator = RtoEstimator(
             min_rto=config.min_rto, max_rto=config.max_rto, initial_rto=config.initial_rto
         )
-        self._rto_event: Optional[Event] = None
+        # One reusable wheel-backed handle for the connection's whole life:
+        # restarting the timer on every ACK/data event is the hottest
+        # cancel/re-arm churn in the simulator and never touches the heap.
+        self._rto_timer = simulator.timer(self._on_rto)
         self._timed_seq: Optional[int] = None
         self._timed_at = 0.0
 
@@ -292,7 +295,7 @@ class TcpSender(Endpoint):
             self.snd_nxt += payload
             self.snd_max = max(self.snd_max, self.snd_nxt)
             self._refill()
-        if self.flight_size() > 0 and self._rto_event is None:
+        if self.flight_size() > 0 and not self._rto_timer.armed:
             self._restart_rto_timer()
 
     def _send_data(self, seq: int, payload: int, is_retransmission: bool) -> None:
@@ -351,16 +354,12 @@ class TcpSender(Endpoint):
     # ------------------------------------------------------------------
 
     def _restart_rto_timer(self) -> None:
-        self._cancel_rto_timer()
-        self._rto_event = self.simulator.schedule(self.rto_estimator.rto, self._on_rto)
+        self._rto_timer.arm(self.rto_estimator.rto)
 
     def _cancel_rto_timer(self) -> None:
-        if self._rto_event is not None:
-            self._rto_event.cancel()
-            self._rto_event = None
+        self._rto_timer.cancel()
 
     def _on_rto(self) -> None:
-        self._rto_event = None
         if self.complete:
             return
         if not self.established:

@@ -173,6 +173,9 @@ def _smoke_micro_simulator():
     module.test_micro_event_loop_throughput(shim)
     module.test_micro_droptail_queue_operations(shim)
     module.test_micro_ecmp_hashing(shim)
+    module.test_micro_timer_churn_wheel(shim)
+    module.test_micro_timer_churn_naive_heap(shim)
+    module.test_micro_cancelled_event_compaction(shim)
     module.test_micro_single_tcp_transfer(shim)
     module.test_micro_fattree_construction_and_routing(shim)
 
@@ -199,3 +202,35 @@ SMOKE_RUNNERS = {
 def test_bench_entry_point_runs_at_tiny_scale(module_name: str) -> None:
     """The experiment entry point behind each benchmark completes at tiny scale."""
     SMOKE_RUNNERS[module_name]()
+
+
+# ---------------------------------------------------------------------------
+# engine_bench.py (the BENCH_engine.json driver; not a bench_* module)
+# ---------------------------------------------------------------------------
+
+
+def test_engine_bench_workloads_run_at_tiny_scale() -> None:
+    engine_bench = importlib.import_module("engine_bench")
+    assert engine_bench.run_event_chain(2_000) == 2_001
+    assert engine_bench.run_timer_churn(use_wheel=True, flows=8, ticks=2_000) > 2_000
+    assert engine_bench.run_timer_churn(use_wheel=False, flows=8, ticks=2_000) > 2_000
+
+
+def test_engine_bench_check_gate_flags_regressions(tmp_path) -> None:
+    engine_bench = importlib.import_module("engine_bench")
+    baseline_path = tmp_path / "baseline.json"
+    baseline_path.write_text(
+        '{"normalised": {"event_chain": 1.0, "timer_churn_wheel": 0.8}}'
+    )
+    good = {"normalised": {"event_chain": 1.0, "timer_churn_wheel": 0.85},
+            "timer_churn_improvement_pct": 40.0}
+    assert engine_bench.check(good, baseline_path, tolerance=0.20,
+                              min_improvement=30.0) == 0
+    regressed = {"normalised": {"event_chain": 1.0, "timer_churn_wheel": 1.2},
+                 "timer_churn_improvement_pct": 40.0}
+    assert engine_bench.check(regressed, baseline_path, tolerance=0.20,
+                              min_improvement=30.0) == 1
+    too_small_win = {"normalised": {"event_chain": 1.0, "timer_churn_wheel": 0.8},
+                     "timer_churn_improvement_pct": 10.0}
+    assert engine_bench.check(too_small_win, baseline_path, tolerance=0.20,
+                              min_improvement=30.0) == 1

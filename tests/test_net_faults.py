@@ -191,3 +191,99 @@ def test_degrade_and_restore_round_trip_rates() -> None:
     simulator.run(until=0.03)
     assert iface_ab.rate_bps == pytest.approx(original)
     assert iface_ba.rate_bps == pytest.approx(original)
+
+# ---------------------------------------------------------------------------
+# Loss accounting for fault drops
+# ---------------------------------------------------------------------------
+
+
+def test_fault_drops_are_counted_by_the_network_monitor() -> None:
+    # Regression: packets dropped by a down interface bypass QueueStats, so
+    # they used to vanish from every loss column the monitor produces.
+    from repro.net.packet import FLAG_DATA, Packet
+
+    simulator = Simulator()
+    topology = _fattree(simulator)
+    switch = topology.node("core-0")
+    interface = switch.interfaces[0]
+    interface.set_up(False)
+    packet = Packet(flow_id=1, src=1, dst=2, src_port=1, dst_port=2,
+                    flags=FLAG_DATA, payload_size=1000)
+    assert not interface.send(packet)
+    assert interface.fault_drops == 1
+    assert interface.fault_drops_offered == 1
+    assert interface.queue.stats.dropped_packets == 0  # the queue never saw it
+
+    snapshot = topology.monitor().snapshot(1.0)
+    assert snapshot.total_fault_drops == 1
+    assert snapshot.total_packets_dropped == 1
+    core = snapshot.layer_loss["core"]
+    assert core.fault_dropped_packets == 1
+    # The only packet this layer ever saw was lost at a down interface.
+    assert core.loss_rate == 1.0
+
+
+def test_on_wire_fault_drop_is_a_loss_but_not_a_second_offer() -> None:
+    # A packet cut down mid-serialisation already counted as offered when it
+    # entered the queue; the loss rate must count it once in the numerator
+    # and not inflate the denominator (10 offered / 1 lost is 1/10, not 1/11).
+    from repro.net.packet import FLAG_DATA, Packet
+
+    simulator = Simulator()
+    topology = _fattree(simulator)
+    switch = topology.node("core-0")
+    interface = switch.interfaces[0]
+    packet = Packet(flow_id=1, src=1, dst=2, src_port=1, dst_port=2,
+                    flags=FLAG_DATA, payload_size=1000)
+    assert interface.send(packet)  # enqueued and serialising
+    interface.set_up(False)
+    simulator.run(until=1.0)  # serialisation completes while down: lost
+    assert interface.fault_drops == 1
+    assert interface.fault_drops_offered == 0
+
+    core = topology.monitor().snapshot(1.0).layer_loss["core"]
+    assert core.offered_packets == 1
+    assert core.fault_dropped_packets == 1
+    assert core.loss_rate == 1.0
+
+
+def test_link_failure_experiment_surfaces_fault_drops_in_metrics() -> None:
+    # End-to-end: the canonical link-failure run loses at least one packet
+    # that was on the wire when the cable was cut; metrics and the scenario
+    # matrix table must report it instead of undercounting losses.
+    from repro.analysis.report import scenario_matrix_markdown
+    from repro.experiments.config import ExperimentConfig
+    from repro.experiments.runner import run_experiment
+    from repro.traffic.flowspec import PROTOCOL_MMPTCP
+
+    config = ExperimentConfig(
+        fattree_k=4,
+        hosts_per_edge=1,
+        protocol=PROTOCOL_MMPTCP,
+        num_subflows=4,
+        arrival_window_s=0.1,
+        drain_time_s=1.2,
+        short_flow_rate_per_sender=4.0,
+        long_flow_size_bytes=400_000,
+        max_short_flows=6,
+        initial_cwnd_segments=2,
+        seed=7,
+        fault_schedule=(link_failure(0.03, "core-0", "agg-0-0"),),
+    )
+    result = run_experiment(config)
+    assert result.metrics.fault_drops > 0
+    summary = result.metrics.summary_dict()
+    assert summary["fault_drops"] == float(result.metrics.fault_drops)
+    # Fault drops flow into the aggregate loss accounting too.
+    assert result.metrics.network.total_packets_dropped >= result.metrics.fault_drops
+
+    row = {
+        "scenario": "linkfail", "protocol": "mmptcp", "completion_rate": 1.0,
+        "mean_fct_ms": 1.0, "p99_fct_ms": 2.0, "retransmits": 3,
+        "fault_drops": result.metrics.fault_drops, "long_tput_mbps": 10.0,
+    }
+    markdown = scenario_matrix_markdown([row], baseline_protocol="tcp")
+    header, _, data_row = markdown.splitlines()
+    assert "fault drops" in header
+    column = header.split("|").index(" fault drops ")
+    assert data_row.split("|")[column].strip() == str(result.metrics.fault_drops)

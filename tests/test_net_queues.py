@@ -77,23 +77,32 @@ class TestDropTailQueue:
 
 class TestEcnQueue:
     def test_marks_ecn_capable_packets_above_threshold(self) -> None:
+        # DCTCP's rule: mark when the occupancy found on arrival (excluding
+        # the arriving packet) strictly exceeds K.  With K=2 the fourth
+        # packet is the first to find 3 > 2 buffered ahead of it; the third
+        # (which finds exactly K) is NOT marked — that was the off-by-one.
         queue = EcnQueue(capacity_packets=10, marking_threshold=2)
-        first = _packet(ecn_capable=True)
-        second = _packet(ecn_capable=True)
-        third = _packet(ecn_capable=True)
-        queue.enqueue(first)
-        queue.enqueue(second)
-        queue.enqueue(third)  # occupancy 2 at arrival -> marked
-        assert not first.ecn_ce
-        assert not second.ecn_ce
-        assert third.ecn_ce
+        packets = [_packet(ecn_capable=True) for _ in range(4)]
+        for packet in packets:
+            queue.enqueue(packet)
+        assert [packet.ecn_ce for packet in packets] == [False, False, False, True]
         assert queue.stats.ecn_marked_packets == 1
 
     def test_does_not_mark_non_ecn_packets(self) -> None:
         queue = EcnQueue(capacity_packets=10, marking_threshold=0)
+        queue.enqueue(_packet(ecn_capable=True))  # occupy the buffer
         packet = _packet(ecn_capable=False)
-        queue.enqueue(packet)
+        queue.enqueue(packet)  # finds 1 > 0 but is not ECN-capable
         assert not packet.ecn_ce
+
+    def test_packet_finding_exactly_threshold_is_not_marked(self) -> None:
+        queue = EcnQueue(capacity_packets=10, marking_threshold=1)
+        first = _packet(ecn_capable=True)
+        second = _packet(ecn_capable=True)
+        queue.enqueue(first)
+        queue.enqueue(second)  # finds exactly K=1 buffered -> unmarked
+        assert not second.ecn_ce
+        assert queue.stats.ecn_marked_packets == 0
 
     def test_still_drops_when_full(self) -> None:
         queue = EcnQueue(capacity_packets=1, marking_threshold=0)
@@ -137,12 +146,12 @@ class TestSharedBuffer:
     def test_optional_ecn_marking(self) -> None:
         pool = SharedBufferPool(total_bytes=100_000)
         queue = SharedBufferQueue(pool, marking_threshold=1)
-        first = _packet(ecn_capable=True)
-        second = _packet(ecn_capable=True)
-        queue.enqueue(first)
-        queue.enqueue(second)
-        assert not first.ecn_ce
-        assert second.ecn_ce
+        packets = [_packet(ecn_capable=True) for _ in range(3)]
+        for packet in packets:
+            queue.enqueue(packet)
+        # Same strict arrival-occupancy rule as EcnQueue: only the third
+        # packet finds 2 > 1 already buffered.
+        assert [packet.ecn_ce for packet in packets] == [False, False, True]
 
     def test_pool_validation(self) -> None:
         with pytest.raises(ValueError):

@@ -1,0 +1,341 @@
+"""Tests for the reusable-timer subsystem and event-heap hygiene.
+
+The centrepiece is a hypothesis property: for any interleaving of
+arm/re-arm/cancel operations, timers backed by the hierarchical wheel fire
+in exactly the same order (and at the same times) as the same program
+expressed with naive ``schedule``/``cancel`` heap events.  That equivalence
+is what lets the transport stack switch to timers without perturbing golden
+traces.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.engine import Event, SimulationError, Simulator
+from repro.sim.timerwheel import TimerWheel
+
+# ---------------------------------------------------------------------------
+# Timer handle basics
+# ---------------------------------------------------------------------------
+
+
+class TestTimerHandle:
+    def test_unarmed_timer_state(self, simulator: Simulator) -> None:
+        timer = simulator.timer(lambda: None)
+        assert not timer.armed
+        assert timer.when is None
+
+    def test_arm_fires_once_with_args(self, simulator: Simulator) -> None:
+        received = []
+        timer = simulator.timer(lambda a, b: received.append((a, b)))
+        timer.arm(0.5, 7, "x")
+        assert timer.armed
+        assert timer.when == 0.5
+        simulator.run()
+        assert received == [(7, "x")]
+        assert not timer.armed
+        assert simulator.events_processed == 1
+
+    def test_rearm_replaces_previous_deadline(self, simulator: Simulator) -> None:
+        fired = []
+        timer = simulator.timer(lambda: fired.append(simulator.now))
+        timer.arm(1.0)
+        timer.arm(2.0)  # replaces, never fires at 1.0
+        simulator.run()
+        assert fired == [2.0]
+
+    def test_cancel_prevents_firing_and_is_idempotent(self, simulator: Simulator) -> None:
+        fired = []
+        timer = simulator.timer(lambda: fired.append("fired"))
+        timer.arm(1.0)
+        timer.cancel()
+        timer.cancel()
+        assert not timer.armed
+        simulator.run(until=5.0)
+        assert fired == []
+
+    def test_cancelled_timer_can_be_rearmed(self, simulator: Simulator) -> None:
+        fired = []
+        timer = simulator.timer(lambda: fired.append(simulator.now))
+        timer.arm(1.0)
+        timer.cancel()
+        timer.arm(3.0)
+        simulator.run()
+        assert fired == [3.0]
+
+    def test_negative_delay_rejected(self, simulator: Simulator) -> None:
+        timer = simulator.timer(lambda: None)
+        with pytest.raises(SimulationError):
+            timer.arm(-0.1)
+
+    def test_arm_at_in_the_past_rejected(self, simulator: Simulator) -> None:
+        simulator.schedule(1.0, lambda: None)
+        simulator.run()
+        timer = simulator.timer(lambda: None)
+        with pytest.raises(SimulationError):
+            timer.arm_at(0.5)
+
+    def test_self_rearming_timer_is_periodic(self, simulator: Simulator) -> None:
+        fired = []
+        timer = simulator.timer(lambda: None)
+
+        def tick() -> None:
+            fired.append(simulator.now)
+            if len(fired) < 3:
+                timer.arm(0.5)
+
+        timer.callback = tick
+        timer.arm(0.5)
+        simulator.run()
+        assert fired == [0.5, 1.0, 1.5]
+
+    def test_reset_disarms_timers_but_handles_stay_usable(
+        self, simulator: Simulator
+    ) -> None:
+        fired = []
+        timer = simulator.timer(lambda: fired.append(simulator.now))
+        timer.arm(1.0)
+        simulator.reset()
+        assert not timer.armed
+        assert simulator.pending_events() == 0
+        timer.arm(2.0)
+        simulator.run()
+        assert fired == [2.0]
+
+
+# ---------------------------------------------------------------------------
+# Ordering across the heap and the wheel
+# ---------------------------------------------------------------------------
+
+
+class TestTimerEventOrdering:
+    def test_fifo_order_among_same_time_events_and_timers(
+        self, simulator: Simulator
+    ) -> None:
+        order: List[str] = []
+        simulator.schedule(1.0, lambda: order.append("event-a"))
+        simulator.timer(lambda: order.append("timer")).arm(1.0)
+        simulator.schedule(1.0, lambda: order.append("event-b"))
+        simulator.run()
+        assert order == ["event-a", "timer", "event-b"]
+
+    def test_ordering_across_wheel_levels(self, simulator: Simulator) -> None:
+        # Deadlines land in level 0 (<0.256s), level 1 (<65.5s) and the
+        # overflow heap; they must still interleave correctly with heap
+        # events regardless of which structure holds them.
+        order: List[float] = []
+
+        def log() -> None:
+            order.append(simulator.now)
+
+        simulator.timer(log).arm(100.0)  # overflow
+        simulator.timer(log).arm(30.0)  # level 1
+        simulator.timer(log).arm(0.1)  # level 0
+        simulator.schedule(50.0, log)  # plain heap event
+        simulator.timer(log).arm(0.1005)  # same level-0 slot as 0.1
+        simulator.run()
+        assert order == [0.1, 0.1005, 30.0, 50.0, 100.0]
+
+    def test_timer_armed_by_callback_into_current_instant(
+        self, simulator: Simulator
+    ) -> None:
+        order: List[str] = []
+        timer = simulator.timer(lambda: order.append("timer"))
+        simulator.schedule(1.0, lambda: timer.arm(0.0))
+        simulator.schedule(1.0, lambda: order.append("later-event"))
+        simulator.run()
+        # The zero-delay arm gets a later sequence than the already-queued
+        # event at the same instant, so it fires after it — exactly the
+        # FIFO rule raw events follow.
+        assert order == ["later-event", "timer"]
+
+    def test_until_horizon_applies_to_timers(self, simulator: Simulator) -> None:
+        fired = []
+        simulator.timer(lambda: fired.append("late")).arm(5.0)
+        simulator.run(until=2.0)
+        assert fired == []
+        assert simulator.now == 2.0
+        simulator.run(until=10.0)
+        assert fired == ["late"]
+
+    def test_pending_events_and_peek_include_timers(self, simulator: Simulator) -> None:
+        simulator.schedule(3.0, lambda: None)
+        timer = simulator.timer(lambda: None)
+        timer.arm(1.0)
+        assert simulator.pending_events() == 2
+        assert simulator.peek_next_time() == 1.0
+        timer.cancel()
+        assert simulator.pending_events() == 1
+        assert simulator.peek_next_time() == 3.0
+
+
+# ---------------------------------------------------------------------------
+# Property: wheel timers == naive heap timers, for any interleaving
+# ---------------------------------------------------------------------------
+
+#: Delay grid mixing sub-slot, slot-scale, level-1 and overflow horizons;
+#: repeated values force exact-time ties so FIFO ordering is exercised.
+_DELAYS = st.sampled_from(
+    [0.0, 1e-6, 1e-4, 5e-4, 1e-3, 0.01, 0.2, 0.2, 0.255, 0.3, 1.0, 30.0, 70.0]
+) | st.floats(min_value=0.0, max_value=80.0, allow_nan=False, width=32)
+
+#: One program step: (timer index, "arm" delay or None for cancel).
+_OPS = st.lists(
+    st.tuples(st.integers(0, 5), st.one_of(st.none(), _DELAYS), _DELAYS),
+    min_size=1,
+    max_size=40,
+)
+
+
+def _run_program(
+    ops: List[Tuple[int, Optional[float], float]], use_wheel: bool
+) -> Tuple[List[Tuple[int, float]], float, int]:
+    """Execute a timer program and return (firing log, final now, events)."""
+    simulator = Simulator()
+    log: List[Tuple[int, float]] = []
+    timer_count = 6
+
+    if use_wheel:
+        timers = [
+            simulator.timer(lambda i=i: log.append((i, simulator.now)))
+            for i in range(timer_count)
+        ]
+
+        def apply(index: int, delay: Optional[float]) -> None:
+            if delay is None:
+                timers[index].cancel()
+            else:
+                timers[index].arm(delay)
+
+    else:
+        events: List[Optional[Event]] = [None] * timer_count
+
+        def apply(index: int, delay: Optional[float]) -> None:
+            if delay is None:
+                simulator.cancel(events[index])
+                events[index] = None
+            else:
+                # Naive re-arm: cancel + schedule consumes one sequence
+                # number, exactly like Timer.arm.
+                simulator.cancel(events[index])
+                events[index] = simulator.schedule(
+                    delay, lambda i=index: log.append((i, simulator.now))
+                )
+
+    driver_time = 0.0
+    for index, delay, driver_delay in ops:
+        driver_time += driver_delay
+        simulator.schedule_at(driver_time, apply, index, delay)
+    simulator.run()
+    return log, simulator.now, simulator.events_processed
+
+
+@settings(max_examples=120, deadline=None)
+@given(ops=_OPS)
+def test_wheel_timers_match_naive_heap_for_any_interleaving(
+    ops: List[Tuple[int, Optional[float], float]]
+) -> None:
+    wheel_log, wheel_now, wheel_events = _run_program(ops, use_wheel=True)
+    naive_log, naive_now, naive_events = _run_program(ops, use_wheel=False)
+    assert wheel_log == naive_log
+    assert wheel_now == naive_now
+    assert wheel_events == naive_events
+
+
+# ---------------------------------------------------------------------------
+# Hygiene: heap compaction and wheel sweeps under churn
+# ---------------------------------------------------------------------------
+
+
+class TestCancellationHygiene:
+    def test_heap_compacts_once_cancelled_fraction_exceeds_half(self) -> None:
+        simulator = Simulator()
+        fired: List[float] = []
+        events = [
+            simulator.schedule(1.0 + index * 1e-6, lambda: fired.append(simulator.now))
+            for index in range(10_000)
+        ]
+        for event in events[1_000:]:
+            simulator.cancel(event)
+        # The physical queue must have been rebuilt, not left 90% dead.
+        assert simulator.heap_compactions >= 1
+        assert len(simulator._queue) < 2_000
+        assert simulator.pending_events() == 1_000
+        assert simulator.peek_next_time() == 1.0
+        simulator.run()
+        assert len(fired) == 1_000
+        assert fired == sorted(fired)
+
+    def test_peek_next_time_skips_cancelled_without_sorting(self) -> None:
+        simulator = Simulator()
+        keep = simulator.schedule(5.0, lambda: None)
+        doomed = [simulator.schedule(1.0 + index * 1e-3, lambda: None) for index in range(50)]
+        for event in doomed:
+            simulator.cancel(event)
+        assert simulator.peek_next_time() == keep.time
+
+    def test_wheel_sweeps_stale_entries_from_rearm_churn(self) -> None:
+        simulator = Simulator()
+        fired: List[float] = []
+        timer = simulator.timer(lambda: fired.append(simulator.now))
+        for index in range(10_000):
+            timer.arm(0.2 + index * 1e-5)
+        wheel = simulator._wheel
+        assert wheel.live_count == 1
+        assert wheel.sweeps >= 1
+        # Stale entries from 10k re-arms must not accumulate.
+        assert wheel.physical_size() < 500
+        simulator.run()
+        assert fired == [pytest.approx(0.2 + 9_999 * 1e-5)]
+        # Regression: a sweep triggered mid-arm used to leak one uncounted
+        # stale entry per sweep, driving the counter negative over time.
+        assert wheel.stale_entries == 0
+
+    def test_wheel_sweep_with_many_live_timers(self) -> None:
+        simulator = Simulator()
+        fired: List[int] = []
+        timers = [
+            simulator.timer(lambda i=i: fired.append(i)) for i in range(100)
+        ]
+        for round_no in range(100):
+            for timer in timers:
+                timer.arm(0.2 + round_no * 1e-4)
+        wheel = simulator._wheel
+        assert wheel.live_count == 100
+        assert wheel.physical_size() < 20_000  # 10k arms, garbage swept
+        simulator.run()
+        assert sorted(fired) == list(range(100))
+        assert len(fired) == 100
+
+    def test_cancel_via_event_handle_still_correct(self) -> None:
+        # Cancelling through Event.cancel() bypasses the compaction
+        # accounting but must stay behaviourally correct (lazy skip).
+        simulator = Simulator()
+        fired: List[str] = []
+        doomed = simulator.schedule(1.0, lambda: fired.append("doomed"))
+        simulator.schedule(2.0, lambda: fired.append("kept"))
+        doomed.cancel()
+        simulator.run()
+        assert fired == ["kept"]
+
+
+# ---------------------------------------------------------------------------
+# TimerWheel construction contracts
+# ---------------------------------------------------------------------------
+
+
+class TestTimerWheelValidation:
+    def test_rejects_bad_parameters(self) -> None:
+        with pytest.raises(ValueError):
+            TimerWheel(tick=0.0)
+        with pytest.raises(ValueError):
+            TimerWheel(slots_per_level=1)
+
+    def test_pop_from_empty_wheel_raises(self) -> None:
+        with pytest.raises(IndexError):
+            TimerWheel().pop()
