@@ -228,7 +228,17 @@ def main(argv=None) -> int:
     report = build_report(repeats=args.repeats)
     print(json.dumps(report, indent=2))
     if args.output is not None:
-        args.output.write_text(json.dumps(report, indent=2) + "\n")
+        # Merge: foreign sections of an existing artifact (e.g. the
+        # packet_path section written by packet_bench.py) are preserved.
+        merged: Dict[str, object] = {}
+        if args.output.exists():
+            merged = {
+                key: value
+                for key, value in json.loads(args.output.read_text()).items()
+                if key not in report
+            }
+        merged.update(report)
+        args.output.write_text(json.dumps(merged, indent=2) + "\n")
         print(f"wrote {args.output}", file=sys.stderr)
     if args.check is not None:
         return check(report, args.check, args.tolerance, args.min_improvement)

@@ -7,7 +7,7 @@ from repro.net.address import (
     same_edge,
     same_pod,
 )
-from repro.net.ecmp import ecmp_hash, fnv1a_64, select_path
+from repro.net.ecmp import ecmp_hash, fnv1a_64, fnv1a_bytes, hash_basis, select_path
 from repro.net.host import Host
 from repro.net.link import Interface, connect
 from repro.net.monitor import LayerLossStats, NetworkMonitor, NetworkSnapshot
@@ -19,7 +19,12 @@ from repro.net.packet import (
     FLAG_FIN,
     FLAG_SYN,
     Packet,
+    PacketPool,
+    acquire_packet,
+    default_pool,
     make_ack,
+    release_packet,
+    set_pool_debug,
 )
 from repro.net.queues import (
     DropTailQueue,
@@ -44,6 +49,8 @@ __all__ = [
     "same_pod",
     "ecmp_hash",
     "fnv1a_64",
+    "fnv1a_bytes",
+    "hash_basis",
     "select_path",
     "Host",
     "Interface",
@@ -58,7 +65,12 @@ __all__ = [
     "FLAG_FIN",
     "FLAG_SYN",
     "Packet",
+    "PacketPool",
+    "acquire_packet",
+    "default_pool",
     "make_ack",
+    "release_packet",
+    "set_pool_debug",
     "DropTailQueue",
     "EcnQueue",
     "Queue",

@@ -10,6 +10,25 @@ The hash must be deterministic across runs (for reproducibility) yet differ
 between switches (otherwise every switch would make correlated choices and
 entire subtrees would see the same path decisions).  We therefore mix a
 per-switch salt into an FNV-1a hash of the 5-tuple.
+
+Hot-path note: FNV-1a folds the salt into the *initial basis*, so a fully
+salted digest cannot be precomputed once per packet and cheaply re-mixed per
+switch — doing so would change every path decision and invalidate the golden
+traces.  What can be (and is) hoisted out of the per-hop loop:
+
+* the 5-tuple's byte serialisation — packed once (lazily, at the packet's
+  first hashed hop) into ``Packet.flow_bytes`` and walked directly from then
+  on (no tuple building, masking or shifting per hop; it is ``None`` until
+  that first hop, so always go through ``Packet.flow_key()`` or the inlined
+  lazy fill below rather than reading the slot directly);
+* the unsalted digest — cached in ``Packet.flow_hash`` the first time a
+  salt-0 consumer asks for it;
+* the salted per-flow digest — memoised per switch, keyed by ``flow_bytes``
+  (see :meth:`repro.net.switch.Switch.flow_hash_for`), which collapses the
+  per-hop cost to one dict lookup for every packet of an established flow.
+
+All three caches produce digests *identical* to :func:`fnv1a_64` over the
+tuple, which is what keeps the golden traces byte-for-byte stable.
 """
 
 from __future__ import annotations
@@ -22,10 +41,16 @@ _MASK = 0xFFFFFFFFFFFFFFFF
 
 
 def fnv1a_64(values: tuple[int, ...], salt: int = 0) -> int:
-    """64-bit FNV-1a hash over a tuple of non-negative integers."""
+    """64-bit FNV-1a hash over a tuple of non-negative integers.
+
+    Reference implementation: :func:`fnv1a_bytes` over the packed form of
+    ``values`` must always agree with it (a property test pins this).
+    """
     digest = (_FNV_OFFSET ^ (salt & _MASK)) & _MASK
     for value in values:
-        # Hash the value four bytes at a time so that large ints contribute fully.
+        # Hash the value one byte at a time, eight bytes (LSB first) per
+        # value, so that large ints contribute fully — the byte order
+        # Struct("<5Q") packing must reproduce exactly.
         remaining = value & _MASK
         for _ in range(8):
             digest ^= remaining & 0xFF
@@ -34,9 +59,35 @@ def fnv1a_64(values: tuple[int, ...], salt: int = 0) -> int:
     return digest
 
 
+def hash_basis(salt: int = 0) -> int:
+    """The FNV-1a initial digest for ``salt`` (precomputable per switch)."""
+    return (_FNV_OFFSET ^ (salt & _MASK)) & _MASK
+
+
+def fnv1a_bytes(data: bytes, basis: int = _FNV_OFFSET) -> int:
+    """64-bit FNV-1a over ``data`` starting from ``basis``.
+
+    Iterating a cached ``bytes`` object yields each byte at C speed, which is
+    what makes per-hop hashing cheap; the digest is identical to
+    :func:`fnv1a_64` over the unpacked values when ``data`` is the packet's
+    ``flow_bytes`` and ``basis`` is ``hash_basis(salt)``.
+    """
+    for byte in data:
+        basis = ((basis ^ byte) * _FNV_PRIME) & _MASK
+    return basis
+
+
 def ecmp_hash(packet: Packet, salt: int = 0) -> int:
     """Hash a packet's 5-tuple, mixed with a per-switch salt."""
-    return fnv1a_64(packet.flow_tuple(), salt=salt)
+    key = packet.flow_bytes
+    if key is None:
+        key = packet.flow_key()
+    if salt:
+        return fnv1a_bytes(key, (_FNV_OFFSET ^ (salt & _MASK)) & _MASK)
+    digest = packet.flow_hash
+    if digest is None:
+        digest = packet.flow_hash = fnv1a_bytes(key, _FNV_OFFSET)
+    return digest
 
 
 def select_path(packet: Packet, num_paths: int, salt: int = 0) -> int:

@@ -5,6 +5,13 @@ integer address, and a demultiplexing table from local port numbers to
 transport endpoints.  Transport endpoints hand fully formed packets to
 :meth:`Host.send`, which selects an uplink (by ECMP hash when multi-homed)
 and pushes the packet into that interface's queue.
+
+Packet ownership: :meth:`Host.receive` is the end of every delivered packet's
+life.  The endpoint's ``on_packet`` may read the packet freely while it runs
+but must not retain a reference; as soon as it returns, the host releases the
+packet back to the pool (mis-delivered and port-less packets are released
+immediately).  Reassembly buffers and statistics therefore only ever store
+plain integers extracted from the packet, never the packet itself.
 """
 
 from __future__ import annotations
@@ -13,8 +20,8 @@ from typing import Dict, Optional, Protocol
 
 from repro.net.ecmp import select_among, select_path
 from repro.net.link import Interface
-from repro.net.node import Node
-from repro.net.packet import Packet
+from repro.net.node import Node, trace_noop
+from repro.net.packet import Packet, release_packet
 from repro.sim.engine import Simulator
 from repro.sim.tracing import NULL_SINK, TraceSink
 
@@ -44,6 +51,9 @@ class Host(Node):
         self._next_ephemeral_port = 49152
         self.unroutable_packets = 0
         self.undeliverable_packets = 0
+        traced = trace is not NULL_SINK
+        self._trace_misdelivered = self._emit_misdelivered if traced else trace_noop
+        self._trace_no_endpoint = self._emit_no_endpoint if traced else trace_noop
 
     # ------------------------------------------------------------------
     # Endpoint management
@@ -76,43 +86,62 @@ class Host(Node):
     # ------------------------------------------------------------------
 
     def send(self, packet: Packet) -> bool:
-        """Transmit ``packet`` out of one of this host's uplinks."""
-        if not self.interfaces:
+        """Transmit ``packet`` out of one of this host's uplinks.
+
+        Returns False when the selected uplink rejected the packet (down NIC
+        or full queue); the packet has then already been retired — callers
+        that care must account for the loss *before* handing the packet over
+        (see ``Endpoint.transmit``).
+        """
+        interfaces = self.interfaces
+        if len(interfaces) == 1:
+            return interfaces[0].send(packet)
+        if not interfaces:
             raise RuntimeError(f"host {self.name} has no interfaces")
-        if len(self.interfaces) == 1:
-            interface = self.interfaces[0]
-        else:
-            # Multi-homed host: pick the uplink by flow hash, exactly as a
-            # host-side ECMP bonding driver would.
-            index = select_path(packet, len(self.interfaces), salt=self.address)
-            interface = self.interfaces[index]
-            if not interface.up:
-                # Bonding drivers fail over to a surviving uplink.
-                live = [i for i in range(len(self.interfaces)) if self.interfaces[i].up]
-                if live:
-                    interface = self.interfaces[select_among(packet, live, salt=self.address)]
+        # Multi-homed host: pick the uplink by flow hash, exactly as a
+        # host-side ECMP bonding driver would.
+        index = select_path(packet, len(interfaces), salt=self.address)
+        interface = interfaces[index]
+        if not interface.up:
+            # Bonding drivers fail over to a surviving uplink.
+            live = [i for i in range(len(interfaces)) if interfaces[i].up]
+            if live:
+                interface = interfaces[select_among(packet, live, salt=self.address)]
         return interface.send(packet)
 
     def receive(self, packet: Packet, interface: Optional[Interface]) -> None:
-        """Deliver an arriving packet to the endpoint bound to its destination port."""
-        if packet.dst != self.address:
+        """Deliver an arriving packet to the endpoint bound to its destination port.
+
+        Whatever happens, the host consumes the packet: it is released to the
+        packet pool once the endpoint's synchronous processing is done.
+        """
+        if packet.dst == self.address:
+            endpoint = self._endpoints.get(packet.dst_port)
+            if endpoint is not None:
+                endpoint.on_packet(packet)
+            else:
+                self.undeliverable_packets += 1
+                self._trace_no_endpoint(packet)
+        else:
             # Mis-delivered packet (should not happen with correct routing).
             self.unroutable_packets += 1
-            if self.trace.enabled:
-                self.trace.emit(
-                    self.simulator.now, "misdelivered", node=self.name, flow_id=packet.flow_id
-                )
-            return
-        endpoint = self._endpoints.get(packet.dst_port)
-        if endpoint is None:
-            self.undeliverable_packets += 1
-            if self.trace.enabled:
-                self.trace.emit(
-                    self.simulator.now,
-                    "no_endpoint",
-                    node=self.name,
-                    port=packet.dst_port,
-                    flow_id=packet.flow_id,
-                )
-            return
-        endpoint.on_packet(packet)
+            self._trace_misdelivered(packet)
+        release_packet(packet)
+
+    # ------------------------------------------------------------------
+
+    def _emit_misdelivered(self, packet: Packet) -> None:
+        if self.trace.enabled:
+            self.trace.emit(
+                self.simulator.now, "misdelivered", node=self.name, flow_id=packet.flow_id
+            )
+
+    def _emit_no_endpoint(self, packet: Packet) -> None:
+        if self.trace.enabled:
+            self.trace.emit(
+                self.simulator.now,
+                "no_endpoint",
+                node=self.name,
+                port=packet.dst_port,
+                flow_id=packet.flow_id,
+            )

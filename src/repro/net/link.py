@@ -13,16 +13,22 @@ point-to-point devices:
 
 A full-duplex cable between two nodes is simply a pair of interfaces, one on
 each node, wired to each other — :func:`connect` builds that pair.
+
+Packet ownership: an interface *consumes* every packet that is offered to it
+and then lost — rejected while the link is down, dropped by the queue, or cut
+mid-serialisation.  Those packets are released to the packet pool after the
+drop callbacks have run; delivered packets are released further downstream by
+the receiving host.  Callers must therefore never touch a packet again once
+:meth:`Interface.send` has been called, whatever it returned.
 """
 
 from __future__ import annotations
 
 from typing import TYPE_CHECKING, Callable, Optional
 
-from repro.net.packet import Packet
+from repro.net.packet import Packet, release_packet
 from repro.net.queues import DropTailQueue, Queue
 from repro.sim.engine import Simulator
-from repro.sim.units import transmission_delay
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
     from repro.net.node import Node
@@ -100,25 +106,42 @@ class Interface:
     # ------------------------------------------------------------------
 
     def send(self, packet: Packet) -> bool:
-        """Offer ``packet`` for transmission; returns False if the queue dropped it."""
+        """Offer ``packet`` for transmission; returns False if it was dropped.
+
+        Either way the interface takes ownership: a rejected packet is
+        recorded (fault or queue drop) and released to the packet pool.
+        """
         if self.peer is None:
             raise RuntimeError(f"interface {self.name} is not connected")
         if not self.up:
             self.fault_drops += 1
             self.fault_drops_offered += 1
-            if self.drop_callback is not None:
-                self.drop_callback(packet, self)
-            self.node.note_drop(packet, self)
+            self._drop(packet)
             return False
-        accepted = self.queue.enqueue(packet)
-        if not accepted:
-            if self.drop_callback is not None:
-                self.drop_callback(packet, self)
-            self.node.note_drop(packet, self)
+        if self._transmitting:
+            if not self.queue.enqueue(packet):
+                self._drop(packet)
+                return False
+            return True
+        # Idle transmitter ⇒ the queue is empty (a down link parks packets,
+        # but the `up` check above already excluded that state): pass the
+        # packet through the queue's counters without the deque round-trip
+        # and serialise it immediately.
+        if not self.queue.transit(packet):
+            self._drop(packet)
             return False
-        if not self._transmitting:
-            self._start_next_transmission()
+        self._transmitting = True
+        tx_delay = (packet.size * 8.0) / self.rate_bps
+        self.busy_time += tx_delay
+        self._tx_timer.arm(tx_delay, packet)
         return True
+
+    def _drop(self, packet: Packet) -> None:
+        """Run the drop notifications, then retire the packet."""
+        if self.drop_callback is not None:
+            self.drop_callback(packet, self)
+        self.node.note_drop(packet, self)
+        release_packet(packet)
 
     def _start_next_transmission(self) -> None:
         if not self.up:
@@ -130,7 +153,8 @@ class Interface:
             self._transmitting = False
             return
         self._transmitting = True
-        tx_delay = transmission_delay(packet.size, self.rate_bps)
+        # Inlined transmission_delay(): one attribute walk instead of a call.
+        tx_delay = (packet.size * 8.0) / self.rate_bps
         self.busy_time += tx_delay
         self._tx_timer.arm(tx_delay, packet)
 
@@ -139,9 +163,7 @@ class Interface:
             # The link went down while this packet was serialising: it was on
             # the wire when the cable was cut, so it is lost.
             self.fault_drops += 1
-            if self.drop_callback is not None:
-                self.drop_callback(packet, self)
-            self.node.note_drop(packet, self)
+            self._drop(packet)
             self._start_next_transmission()
             return
         self.bytes_sent += packet.size

@@ -12,6 +12,19 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.net.link import Interface
 
 
+def trace_noop(*_args, **_kwargs) -> None:
+    """Shared no-op bound in place of trace emitters for the null sink.
+
+    Nodes bind their per-event emitters once at construction: to this no-op
+    when the node was built with :data:`~repro.sim.tracing.NULL_SINK` (the
+    common case, whose ``enabled`` is never flipped), and to the real
+    emitter for any other sink.  Real emitters keep the dynamic
+    ``trace.enabled`` check, so a custom sink that toggles ``enabled``
+    mid-run behaves exactly like the rest of the codebase's guarded
+    emitters.
+    """
+
+
 class Node:
     """A network element with a set of interfaces.
 
@@ -34,6 +47,7 @@ class Node:
         self.neighbor_to_interface: Dict[str, int] = {}
         self.dropped_packets = 0
         self.dropped_bytes = 0
+        self._trace_drop = self._emit_drop if trace is not NULL_SINK else trace_noop
 
     # ------------------------------------------------------------------
     # Wiring
@@ -62,6 +76,9 @@ class Node:
         """Record a packet lost in one of this node's output queues."""
         self.dropped_packets += 1
         self.dropped_bytes += packet.size
+        self._trace_drop(packet, interface)
+
+    def _emit_drop(self, packet: Packet, interface: "Interface") -> None:
         if self.trace.enabled:
             self.trace.emit(
                 self.simulator.now,

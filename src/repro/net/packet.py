@@ -1,4 +1,4 @@
-"""Packet model.
+"""Packet model and the packet free-list pool.
 
 A :class:`Packet` is a mutable record that travels through the simulated
 network.  It carries both the fields a real TCP/IP header would carry
@@ -8,13 +8,37 @@ that MPTCP and MMPTCP need.
 
 Packets are deliberately simple Python objects with ``__slots__`` — millions
 of them are created per experiment, so attribute access speed and memory
-footprint matter.
+footprint matter.  Two further data-plane optimisations live here:
+
+* **Derived fields are precomputed.**  ``size`` is a plain slot (header +
+  payload, set whenever either part changes), and ``flow_bytes`` holds the
+  packed little-endian serialisation of the ECMP 5-tuple so that per-hop
+  hashing walks a cached ``bytes`` object instead of re-deriving 40 bytes
+  from five attributes at every switch.  ``flow_hash`` caches the unsalted
+  FNV-1a digest of ``flow_bytes`` (filled lazily by
+  :func:`repro.net.ecmp.ecmp_hash`).  **Invariant:** the 5-tuple fields
+  (``src`` / ``dst`` / ``src_port`` / ``dst_port`` / ``protocol``) must not
+  be mutated after construction — build (or acquire) a new packet instead,
+  exactly as real hardware would emit a new frame.  Likewise
+  ``payload_size`` / ``header_size`` must only change through
+  :meth:`Packet.resize` so that ``size`` stays in sync.
+
+* **Packets are pooled.**  Transports acquire packets from a
+  :class:`PacketPool` free list instead of allocating, and the network
+  releases every packet it consumes (endpoint delivery, queue drops,
+  fault drops, unroutable packets) back to the pool.  Ownership is strictly
+  linear: once a packet has been handed to ``Host.send`` /
+  ``Interface.send`` the sender must never touch it again — the pool may
+  recycle it for an unrelated flow at any moment.  ``PacketPool(debug=True)``
+  poisons every released packet so that use-after-release shows up as
+  loudly corrupted traffic instead of silent aliasing.
 """
 
 from __future__ import annotations
 
 from itertools import count
-from typing import Optional
+from struct import Struct
+from typing import List, Optional
 
 # TCP flag bit-mask values.
 FLAG_SYN = 0x01
@@ -32,12 +56,27 @@ PROTO_TCP = 6
 
 _packet_ids = count(1)
 
+_U64 = 0xFFFFFFFFFFFFFFFF
+
+#: The ECMP 5-tuple packed as five little-endian u64 words — byte-for-byte
+#: the sequence the seed FNV-1a implementation consumed (each value masked to
+#: 64 bits, least-significant byte first), so hashes over ``flow_bytes`` are
+#: exactly equal to hashes over the original tuple.
+_pack_flow = Struct("<5Q").pack
+
+#: Sentinel written into released packets when pool poisoning is on.  Any
+#: component that reads a released packet sees nonsense addresses/sizes and
+#: derails visibly (golden traces diverge, routing fails) instead of
+#: silently aliasing live traffic.
+POISON = -0x8BADF00D
+
 
 class Packet:
     """A single simulated packet.
 
     Attributes:
-        packet_id: globally unique identifier (useful for tracing).
+        packet_id: globally unique identifier (useful for tracing); a pooled
+            packet gets a fresh id on every acquisition.
         flow_id: identifier of the application flow this packet belongs to.
         src / dst: integer node addresses.
         src_port / dst_port: transport ports; MMPTCP's packet-scatter phase
@@ -47,7 +86,8 @@ class Packet:
             byte carried by this packet).
         ack: cumulative subflow-level acknowledgement number.
         flags: bitwise OR of ``FLAG_*`` constants.
-        payload_size / header_size: sizes in bytes; ``size`` is their sum.
+        payload_size / header_size: sizes in bytes; ``size`` is their
+            precomputed sum (use :meth:`resize` to change them).
         subflow_id: index of the MPTCP subflow (0 for single-path TCP and for
             the MMPTCP packet-scatter flow).
         dsn: connection-level data sequence number (byte offset).
@@ -57,6 +97,10 @@ class Packet:
             this packet; used for RTT sampling.
         is_retransmission: marks retransmitted data (Karn's algorithm).
         hops: number of switch/host hops traversed so far.
+        flow_bytes: packed 5-tuple fed to the per-hop ECMP hash (``None``
+            until the first hashed hop; see :meth:`flow_key`).
+        flow_hash: cached unsalted FNV-1a digest of ``flow_bytes`` (``None``
+            until first needed).
     """
 
     __slots__ = (
@@ -72,6 +116,7 @@ class Packet:
         "flags",
         "payload_size",
         "header_size",
+        "size",
         "subflow_id",
         "dsn",
         "dack",
@@ -81,6 +126,9 @@ class Packet:
         "sent_time",
         "is_retransmission",
         "hops",
+        "flow_bytes",
+        "flow_hash",
+        "_in_pool",
     )
 
     def __init__(
@@ -106,6 +154,15 @@ class Packet:
         is_retransmission: bool = False,
         protocol: int = PROTO_TCP,
     ) -> None:
+        """(Re)initialise every field.
+
+        The packet pool calls ``__init__`` again on recycled instances, so
+        this method *must* assign every slot — including a fresh
+        ``packet_id`` — which is what makes recycled packets
+        indistinguishable from freshly constructed ones (pooling can never
+        leak state between logical packets).
+        """
+        self._in_pool = False
         self.packet_id = next(_packet_ids)
         self.flow_id = flow_id
         self.src = src
@@ -118,6 +175,7 @@ class Packet:
         self.flags = flags
         self.payload_size = payload_size
         self.header_size = header_size
+        self.size = header_size + payload_size
         self.subflow_id = subflow_id
         self.dsn = dsn
         self.dack = dack
@@ -127,15 +185,40 @@ class Packet:
         self.sent_time = sent_time
         self.is_retransmission = is_retransmission
         self.hops = 0
+        # Lazily packed on the first hashed hop: packets that never cross a
+        # multi-candidate ECMP group (pure downlink paths, early drops) skip
+        # the packing cost entirely.
+        self.flow_bytes = None
+        self.flow_hash = None
 
     # ------------------------------------------------------------------
-    # Derived properties
+    # Derived state
     # ------------------------------------------------------------------
 
-    @property
-    def size(self) -> int:
-        """Total on-the-wire size in bytes (header + payload)."""
-        return self.header_size + self.payload_size
+    def resize(self, *, payload_size: Optional[int] = None, header_size: Optional[int] = None) -> None:
+        """Change payload/header size, keeping the precomputed ``size`` in sync."""
+        if payload_size is not None:
+            self.payload_size = payload_size
+        if header_size is not None:
+            self.header_size = header_size
+        self.size = self.header_size + self.payload_size
+
+    def flow_key(self) -> bytes:
+        """The packed 5-tuple fed to the ECMP hash (packed once, then cached).
+
+        Hot paths (``ecmp_hash``, ``Switch.flow_hash_for``) inline this
+        lazy-fill rather than calling it; keep the logic in sync.
+        """
+        key = self.flow_bytes
+        if key is None:
+            key = self.flow_bytes = _pack_flow(
+                self.src & _U64,
+                self.dst & _U64,
+                self.src_port & _U64,
+                self.dst_port & _U64,
+                self.protocol & _U64,
+            )
+        return key
 
     @property
     def is_syn(self) -> bool:
@@ -161,6 +244,42 @@ class Packet:
         """The 5-tuple used by hash-based ECMP."""
         return (self.src, self.dst, self.src_port, self.dst_port, self.protocol)
 
+    # ------------------------------------------------------------------
+    # Pool support
+    # ------------------------------------------------------------------
+
+    def _poison(self) -> None:
+        """Overwrite every field with garbage (pool debug mode).
+
+        A released packet that is still referenced anywhere now carries an
+        unroutable destination, a negative size and a corrupt flow hash, so
+        any use-after-release derails the simulation instead of silently
+        reading stale (or worse, recycled) state.
+        """
+        self.flow_id = POISON
+        self.src = POISON
+        self.dst = POISON
+        self.src_port = POISON
+        self.dst_port = POISON
+        self.protocol = POISON
+        self.seq = POISON
+        self.ack = POISON
+        self.flags = 0
+        self.payload_size = POISON
+        self.header_size = POISON
+        self.size = POISON
+        self.subflow_id = POISON
+        self.dsn = POISON
+        self.dack = POISON
+        self.ecn_capable = False
+        self.ecn_ce = False
+        self.ecn_echo = False
+        self.sent_time = float("nan")
+        self.is_retransmission = False
+        self.hops = POISON
+        self.flow_bytes = b"\xde\xad" * 20
+        self.flow_hash = None
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         flag_names = []
         if self.is_syn:
@@ -179,6 +298,126 @@ class Packet:
         )
 
 
+class PacketPool:
+    """A LIFO free list of :class:`Packet` objects.
+
+    ``acquire`` pops a recycled packet (or allocates when the list is empty)
+    and re-initialises every field; ``release`` returns a consumed packet.
+    Double releases always raise.  With ``debug=True`` every released packet
+    is additionally poisoned (see :meth:`Packet._poison`) and re-checked on
+    acquisition, turning use-after-release and release-while-live bugs into
+    immediate, loud failures — golden-trace runs with poisoning on prove the
+    acquire/release discipline is airtight.
+
+    Pooling is a pure allocation optimisation: acquisition re-runs
+    ``Packet.__init__`` on the recycled instance, which rewrites every slot
+    (including a fresh ``packet_id``), so simulations are byte-identical
+    with or without reuse, for any free-list size.
+    """
+
+    def __init__(self, max_free: int = 4096, debug: bool = False) -> None:
+        if max_free < 0:
+            raise ValueError("max_free cannot be negative")
+        self._free: List[Packet] = []
+        self.max_free = max_free
+        self.debug = debug
+        self.allocated = 0
+        self.reused = 0
+        self.released = 0
+
+    # ------------------------------------------------------------------
+
+    def acquire(self, **fields) -> Packet:
+        """Return a packet initialised with ``fields`` (recycled when possible)."""
+        free = self._free
+        if free:
+            packet = free.pop()
+            if self.debug and (
+                packet.src != POISON
+                or packet.dst != POISON
+                or packet.src_port != POISON
+                or packet.dst_port != POISON
+                or packet.seq != POISON
+                or packet.ack != POISON
+                or packet.size != POISON
+                or packet.payload_size != POISON
+                or packet.dsn != POISON
+                or packet.hops != POISON
+            ):
+                raise RuntimeError(
+                    "packet pool corruption: a free-list packet was mutated "
+                    "while released (use-after-release)"
+                )
+            # Re-running __init__ rewrites every slot (and clears _in_pool).
+            packet.__init__(**fields)
+            self.reused += 1
+            return packet
+        self.allocated += 1
+        return Packet(**fields)
+
+    def release(self, packet: Packet) -> None:
+        """Return ``packet`` to the free list.  The caller forfeits ownership.
+
+        Packets of foreign classes (e.g. reference implementations in
+        benchmarks) are ignored — only real :class:`Packet` objects are
+        recycled.
+        """
+        if packet.__class__ is not Packet:
+            return
+        if packet._in_pool:
+            raise RuntimeError(f"double release of packet {packet.packet_id}")
+        packet._in_pool = True
+        self.released += 1
+        if self.debug:
+            packet._poison()
+        if len(self._free) < self.max_free:
+            self._free.append(packet)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def free_count(self) -> int:
+        """Packets currently parked on the free list."""
+        return len(self._free)
+
+    def clear(self) -> None:
+        """Drop every parked packet (mainly for test isolation)."""
+        self._free.clear()
+
+
+#: The process-wide default pool used by the transports and the network
+#: layer.  Parallel sweep workers each get their own copy (module state is
+#: per-process), and pooling never affects simulation results, so sharing a
+#: pool across experiments in one process is safe.
+_default_pool = PacketPool()
+
+
+def default_pool() -> PacketPool:
+    """The process-wide :class:`PacketPool`."""
+    return _default_pool
+
+
+#: Acquire a packet from the default pool (transport-side entry point) /
+#: release a consumed packet to it (network-side entry point).  Exported as
+#: bound methods: one call layer fewer on the two hottest allocation paths.
+acquire_packet = _default_pool.acquire
+release_packet = _default_pool.release
+
+
+def set_pool_debug(enabled: bool) -> bool:
+    """Toggle poisoning on the default pool; returns the previous setting.
+
+    The free list is emptied whenever the setting changes: entries released
+    before enabling are not poisoned (and would trip the acquisition check),
+    and poisoned entries from a debug session must not outlive it.
+    """
+    previous = _default_pool.debug
+    if previous != enabled:
+        _default_pool.debug = enabled
+        _default_pool.clear()
+    return previous
+
+
 def make_ack(
     original: Packet,
     *,
@@ -189,7 +428,7 @@ def make_ack(
     ecn_echo: bool = False,
     sent_time: float = 0.0,
 ) -> Packet:
-    """Build an acknowledgement packet for ``original``.
+    """Build an acknowledgement packet for ``original`` (pool-acquired).
 
     The ACK is addressed back to the original sender; by default it swaps the
     port pair so that it follows a stable reverse path under ECMP.  Callers
@@ -197,7 +436,7 @@ def make_ack(
     port (MMPTCP packet scatter) but acknowledgements must reach the sender's
     canonical port.
     """
-    return Packet(
+    return _default_pool.acquire(
         flow_id=original.flow_id,
         src=original.dst,
         dst=original.src,

@@ -15,14 +15,27 @@ Three disciplines are provided:
 All queues expose the same interface (:class:`Queue`), count their drops and
 accepted/transmitted bytes, and are intentionally agnostic of what is on the
 other end — the interface object drains them.
+
+Enqueue/dequeue run once per packet per hop, so the three built-in
+disciplines override them with *flattened* implementations: admission checks,
+ECN marking and :class:`QueueStats` updates are folded inline as unguarded
+integer operations (capacity bounds are normalised to huge sentinels instead
+of ``None`` checks, and the per-packet ``_admit``/``_mark``/``_on_accepted``/
+``_on_released`` hook calls of the generic base path are gone).  The generic
+hook-based :class:`Queue` implementation remains for custom subclasses.
 """
 
 from __future__ import annotations
 
+import sys
 from collections import deque
 from typing import Deque, Optional
 
 from repro.net.packet import Packet
+
+#: Effectively-unbounded capacity sentinel: comparing against this is cheaper
+#: than an ``is not None`` guard on every packet.
+_UNBOUNDED = sys.maxsize
 
 
 class QueueStats:
@@ -60,27 +73,52 @@ class QueueStats:
 
 
 class Queue:
-    """Abstract bounded packet queue."""
+    """Abstract bounded packet queue.
+
+    The base ``enqueue``/``dequeue`` drive the ``_admit``/``_mark``/
+    ``_on_accepted``/``_on_released`` hooks, which keeps custom disciplines
+    easy to write; the built-in disciplines bypass the hooks with flattened
+    overrides for speed.
+    """
 
     def __init__(self) -> None:
         self._packets: Deque[Packet] = deque()
         self._bytes = 0
         self.stats = QueueStats()
 
+    def __init_subclass__(cls, **kwargs) -> None:
+        super().__init_subclass__(**kwargs)
+        # The built-in disciplines override enqueue/dequeue/transit with
+        # flattened bodies that bypass the hooks.  A subclass that customises
+        # a hook without redefining those methods would silently lose its
+        # customisation — so give such subclasses the generic hook-driven
+        # path back for every method they did not define themselves.  (The
+        # built-ins are unaffected: each defines, or explicitly aliases, all
+        # three methods in its own class body.)
+        if any(
+            name in cls.__dict__
+            for name in ("_admit", "_mark", "_on_accepted", "_on_released")
+        ):
+            for name in ("enqueue", "dequeue", "transit"):
+                if name not in cls.__dict__:
+                    setattr(cls, name, getattr(Queue, name))
+
     # -- interface used by Interface objects -------------------------------
 
     def enqueue(self, packet: Packet) -> bool:
         """Offer ``packet``; return True if accepted, False if dropped."""
+        stats = self.stats
+        size = packet.size
         if not self._admit(packet):
-            self.stats.dropped_packets += 1
-            self.stats.dropped_bytes += packet.size
+            stats.dropped_packets += 1
+            stats.dropped_bytes += size
             return False
         self._mark(packet)
         self._packets.append(packet)
-        self._bytes += packet.size
+        self._bytes += size
         self._on_accepted(packet)
-        self.stats.enqueued_packets += 1
-        self.stats.enqueued_bytes += packet.size
+        stats.enqueued_packets += 1
+        stats.enqueued_bytes += size
         return True
 
     def dequeue(self) -> Optional[Packet]:
@@ -88,11 +126,34 @@ class Queue:
         if not self._packets:
             return None
         packet = self._packets.popleft()
-        self._bytes -= packet.size
+        size = packet.size
+        self._bytes -= size
         self._on_released(packet)
-        self.stats.dequeued_packets += 1
-        self.stats.dequeued_bytes += packet.size
+        stats = self.stats
+        stats.dequeued_packets += 1
+        stats.dequeued_bytes += size
         return packet
+
+    def transit(self, packet: Packet) -> bool:
+        """Pass ``packet`` straight through an *empty* queue.
+
+        Interfaces call this instead of ``enqueue`` + immediate ``dequeue``
+        when the transmitter is idle (which implies the queue is empty): the
+        packet is counted exactly as if it had been enqueued and dequeued —
+        admission, marking and statistics are all identical — but fast
+        disciplines skip the deque round-trip.  Returns False if the
+        discipline rejected the packet (it was then counted as dropped).
+
+        Calling this on a non-empty queue is a caller bug (it would let the
+        packet jump the queue and silently lose the buffered head) and
+        raises immediately.
+        """
+        if self._packets:
+            raise RuntimeError("transit() requires an empty queue")
+        if not self.enqueue(packet):
+            return False
+        self.dequeue()
+        return True
 
     def __len__(self) -> int:
         return len(self._packets)
@@ -148,12 +209,55 @@ class DropTailQueue(Queue):
             raise ValueError("capacity_bytes must be positive")
         self.capacity_packets = capacity_packets
         self.capacity_bytes = capacity_bytes
+        self._max_packets = capacity_packets if capacity_packets is not None else _UNBOUNDED
+        self._max_bytes = capacity_bytes if capacity_bytes is not None else _UNBOUNDED
 
     def _admit(self, packet: Packet) -> bool:
-        if self.capacity_packets is not None and len(self._packets) >= self.capacity_packets:
+        return (
+            len(self._packets) < self._max_packets
+            and self._bytes + packet.size <= self._max_bytes
+        )
+
+    def enqueue(self, packet: Packet) -> bool:
+        stats = self.stats
+        size = packet.size
+        packets = self._packets
+        if len(packets) >= self._max_packets or self._bytes + size > self._max_bytes:
+            stats.dropped_packets += 1
+            stats.dropped_bytes += size
             return False
-        if self.capacity_bytes is not None and self._bytes + packet.size > self.capacity_bytes:
+        packets.append(packet)
+        self._bytes += size
+        stats.enqueued_packets += 1
+        stats.enqueued_bytes += size
+        return True
+
+    def dequeue(self) -> Optional[Packet]:
+        packets = self._packets
+        if not packets:
+            return None
+        packet = packets.popleft()
+        size = packet.size
+        self._bytes -= size
+        stats = self.stats
+        stats.dequeued_packets += 1
+        stats.dequeued_bytes += size
+        return packet
+
+    def transit(self, packet: Packet) -> bool:
+        if self._packets:
+            raise RuntimeError("transit() requires an empty queue")
+        # Empty queue: the capacity checks reduce to "does one packet fit".
+        stats = self.stats
+        size = packet.size
+        if self._max_packets < 1 or size > self._max_bytes:
+            stats.dropped_packets += 1
+            stats.dropped_bytes += size
             return False
+        stats.enqueued_packets += 1
+        stats.enqueued_bytes += size
+        stats.dequeued_packets += 1
+        stats.dequeued_bytes += size
         return True
 
 
@@ -186,6 +290,32 @@ class EcnQueue(DropTailQueue):
         if packet.ecn_capable and len(self._packets) > self.marking_threshold:
             packet.ecn_ce = True
             self.stats.ecn_marked_packets += 1
+
+    def enqueue(self, packet: Packet) -> bool:
+        stats = self.stats
+        size = packet.size
+        packets = self._packets
+        if len(packets) >= self._max_packets or self._bytes + size > self._max_bytes:
+            stats.dropped_packets += 1
+            stats.dropped_bytes += size
+            return False
+        # Marking is evaluated on the occupancy found on arrival, i.e. before
+        # the packet itself is appended.
+        if packet.ecn_capable and len(packets) > self.marking_threshold:
+            packet.ecn_ce = True
+            stats.ecn_marked_packets += 1
+        packets.append(packet)
+        self._bytes += size
+        stats.enqueued_packets += 1
+        stats.enqueued_bytes += size
+        return True
+
+    # Keep the flattened fast paths despite this class defining _mark (see
+    # Queue.__init_subclass__): dequeue never marks, and transit sees an
+    # empty queue, where the strict > threshold rule (threshold >= 0) can
+    # never fire.
+    dequeue = DropTailQueue.dequeue
+    transit = DropTailQueue.transit
 
 
 class SharedBufferPool:
@@ -245,18 +375,49 @@ class SharedBufferQueue(Queue):
         super().__init__()
         self.pool = pool
         self.marking_threshold = marking_threshold
+        # Fold the optional-marking branch into an integer compare: a
+        # threshold that can never be reached disables marking unguarded.
+        self._marking_threshold = (
+            marking_threshold if marking_threshold is not None else _UNBOUNDED
+        )
 
     def _admit(self, packet: Packet) -> bool:
         return self.pool.try_reserve(self._bytes, packet.size)
 
     def _mark(self, packet: Packet) -> None:
-        if (
-            self.marking_threshold is not None
-            and packet.ecn_capable
-            and len(self._packets) > self.marking_threshold
-        ):
+        if packet.ecn_capable and len(self._packets) > self._marking_threshold:
             packet.ecn_ce = True
             self.stats.ecn_marked_packets += 1
+
+    def enqueue(self, packet: Packet) -> bool:
+        stats = self.stats
+        size = packet.size
+        if not self.pool.try_reserve(self._bytes, size):
+            stats.dropped_packets += 1
+            stats.dropped_bytes += size
+            return False
+        packets = self._packets
+        if packet.ecn_capable and len(packets) > self._marking_threshold:
+            packet.ecn_ce = True
+            stats.ecn_marked_packets += 1
+        packets.append(packet)
+        self._bytes += size
+        stats.enqueued_packets += 1
+        stats.enqueued_bytes += size
+        return True
+
+    def dequeue(self) -> Optional[Packet]:
+        packets = self._packets
+        if not packets:
+            return None
+        packet = packets.popleft()
+        size = packet.size
+        self._bytes -= size
+        self.pool.release(size)
+        stats = self.stats
+        stats.dequeued_packets += 1
+        stats.dequeued_bytes += size
+        return packet
 
     def _on_released(self, packet: Packet) -> None:
         self.pool.release(packet.size)

@@ -78,6 +78,12 @@ class SenderStats:
     fast_retransmits: int = 0
     rto_events: int = 0
     spurious_retransmits: int = 0
+    #: Packets the local host's NIC refused at send time (down interface or
+    #: full uplink queue).  These were counted in ``packets_sent`` but never
+    #: reached the wire — the same class of loss as interface-level fault
+    #: drops, surfaced here so transports that ignore ``Host.send``'s bool
+    #: return no longer lose the event entirely.
+    send_fault_drops: int = 0
     acks_received: int = 0
     duplicate_acks: int = 0
     ecn_echoes_received: int = 0
@@ -121,7 +127,15 @@ class Endpoint:
         self.host.unbind(self.local_port)
 
     def transmit(self, packet: Packet) -> bool:
-        """Hand a fully formed packet to the owning host for transmission."""
+        """Hand a fully formed packet to the owning host for transmission.
+
+        Ownership transfers with the call: whether the host accepts the
+        packet or drops it (down NIC, full uplink queue), the network layer
+        releases it to the packet pool — the endpoint must not read or reuse
+        the packet afterwards.  A ``False`` return means the packet was
+        locally dropped; callers should fold that into their loss accounting
+        (see :attr:`SenderStats.send_fault_drops`).
+        """
         return self.host.send(packet)
 
     @property

@@ -19,6 +19,10 @@ where ``d = Tc / D`` — the time the flow still *needs* divided by the time
 it still *has*.  Far-deadline flows back off more than DCTCP would, near-
 deadline flows back off less, and flows without a deadline behave exactly
 like DCTCP (``d = 1``).
+
+Packet-pool discipline is inherited from :class:`TcpSender`: the gamma
+correction only reads congestion state from ACK fields while they are live
+inside ``on_packet``, never retaining the packet itself.
 """
 
 from __future__ import annotations

@@ -5,6 +5,11 @@ DCTCP = TCP NewReno machinery + ECN-capable packets + the
 a receiver that echoes Congestion-Experienced marks.  It needs ECN marking
 enabled in the switches (use :class:`repro.net.queues.EcnQueue`), which is
 one of the deployment requirements the paper holds against it.
+
+Packet-pool discipline is inherited from :class:`TcpSender` /
+:class:`TcpReceiver`: data packets and ACK echoes are pool-acquired, and the
+ECN bits a queue sets on a recycled packet are always freshly cleared state
+(``Packet.__init__`` rewrites every field on reacquisition).
 """
 
 from __future__ import annotations

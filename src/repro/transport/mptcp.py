@@ -20,7 +20,7 @@ from __future__ import annotations
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.net.host import Host
-from repro.net.packet import FLAG_ACK, FLAG_SYN, Packet, make_ack
+from repro.net.packet import FLAG_ACK, FLAG_SYN, Packet, acquire_packet, make_ack
 from repro.sim.engine import Simulator
 from repro.sim.tracing import NULL_SINK, TraceSink
 from repro.transport.base import Endpoint, SenderStats, TcpConfig
@@ -276,6 +276,7 @@ class MptcpConnection:
             total.acks_received += stats.acks_received
             total.duplicate_acks += stats.duplicate_acks
             total.ecn_echoes_received += stats.ecn_echoes_received
+            total.send_fault_drops += stats.send_fault_drops
         return total
 
     def close(self) -> None:
@@ -317,6 +318,9 @@ class MptcpReceiver(Endpoint):
         self.first_data_time: Optional[float] = None
         self.acks_sent = 0
         self.data_packets_received = 0
+        #: ACKs/SYN-ACKs our own NIC refused to send (down or congested
+        #: uplink) — mirrors :attr:`~repro.transport.base.SenderStats.send_fault_drops`.
+        self.send_fault_drops = 0
 
     # ------------------------------------------------------------------
 
@@ -336,7 +340,7 @@ class MptcpReceiver(Endpoint):
     def _handle_syn(self, packet: Packet) -> None:
         self.peer_address = packet.src
         self.subflow_peer_ports[packet.subflow_id] = packet.src_port
-        syn_ack = Packet(
+        syn_ack = acquire_packet(
             flow_id=self.flow_id,
             src=self.host.address,
             dst=packet.src,
@@ -346,7 +350,8 @@ class MptcpReceiver(Endpoint):
             subflow_id=packet.subflow_id,
             sent_time=self.simulator.now,
         )
-        self.transmit(syn_ack)
+        if not self.transmit(syn_ack):
+            self.send_fault_drops += 1
 
     def _handle_data(self, packet: Packet) -> None:
         if self.first_data_time is None:
@@ -374,7 +379,8 @@ class MptcpReceiver(Endpoint):
             sent_time=self.simulator.now,
         )
         self.acks_sent += 1
-        self.transmit(ack)
+        if not self.transmit(ack):
+            self.send_fault_drops += 1
 
     def _check_completion(self) -> None:
         if self.complete or self.expected_bytes is None:

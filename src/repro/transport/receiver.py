@@ -13,7 +13,7 @@ from __future__ import annotations
 from typing import Callable, Optional
 
 from repro.net.host import Host
-from repro.net.packet import FLAG_ACK, FLAG_SYN, Packet, make_ack
+from repro.net.packet import FLAG_ACK, FLAG_SYN, Packet, acquire_packet, make_ack
 from repro.sim.engine import Simulator
 from repro.sim.tracing import NULL_SINK, TraceSink
 from repro.transport.base import Endpoint
@@ -50,6 +50,9 @@ class TcpReceiver(Endpoint):
         self.first_data_time: Optional[float] = None
         self.acks_sent = 0
         self.data_packets_received = 0
+        #: ACKs/SYN-ACKs our own NIC refused to send (down or congested
+        #: uplink) — mirrors :attr:`SenderStats.send_fault_drops`.
+        self.send_fault_drops = 0
 
     # ------------------------------------------------------------------
 
@@ -69,7 +72,7 @@ class TcpReceiver(Endpoint):
         self.peer_address = packet.src
         self.peer_port = packet.src_port
         self.established = True
-        syn_ack = Packet(
+        syn_ack = acquire_packet(
             flow_id=self.flow_id,
             src=self.host.address,
             dst=packet.src,
@@ -79,7 +82,8 @@ class TcpReceiver(Endpoint):
             subflow_id=packet.subflow_id,
             sent_time=self.simulator.now,
         )
-        self.transmit(syn_ack)
+        if not self.transmit(syn_ack):
+            self.send_fault_drops += 1
 
     def _handle_data(self, packet: Packet) -> None:
         if self.peer_port is None:
@@ -107,7 +111,8 @@ class TcpReceiver(Endpoint):
             sent_time=self.simulator.now,
         )
         self.acks_sent += 1
-        self.transmit(ack)
+        if not self.transmit(ack):
+            self.send_fault_drops += 1
 
     def _check_completion(self) -> None:
         if self.complete or self.expected_bytes is None:

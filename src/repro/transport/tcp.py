@@ -21,7 +21,7 @@ from __future__ import annotations
 from typing import Callable, Dict, Optional, Protocol, runtime_checkable
 
 from repro.net.host import Host
-from repro.net.packet import FLAG_DATA, FLAG_SYN, Packet
+from repro.net.packet import FLAG_DATA, FLAG_SYN, Packet, acquire_packet
 from repro.sim.engine import Simulator
 from repro.sim.tracing import NULL_SINK, TraceSink
 from repro.transport.base import Endpoint, SenderStats, TcpConfig
@@ -299,7 +299,10 @@ class TcpSender(Endpoint):
             self._restart_rto_timer()
 
     def _send_data(self, seq: int, payload: int, is_retransmission: bool) -> None:
-        packet = Packet(
+        # Acquire from the packet pool: the network releases the packet once
+        # it is consumed (delivered or dropped), so this sender never touches
+        # it again after transmit().
+        packet = acquire_packet(
             flow_id=self.flow_id,
             src=self.host.address,
             dst=self.destination,
@@ -326,7 +329,10 @@ class TcpSender(Endpoint):
         elif self._timed_seq is None:
             self._timed_seq = seq + payload
             self._timed_at = self.simulator.now
-        self.transmit(packet)
+        if not self.transmit(packet):
+            # The local NIC refused the packet (down or congested uplink):
+            # account the loss instead of silently dropping the signal.
+            self.stats.send_fault_drops += 1
 
     def _retransmit_segment(self, seq: int) -> None:
         payload = self._payload_at(seq)
@@ -335,7 +341,7 @@ class TcpSender(Endpoint):
         self._send_data(seq, payload, is_retransmission=True)
 
     def _send_syn(self) -> None:
-        packet = Packet(
+        packet = acquire_packet(
             flow_id=self.flow_id,
             src=self.host.address,
             dst=self.destination,
@@ -347,7 +353,8 @@ class TcpSender(Endpoint):
         )
         self.stats.packets_sent += 1
         self.stats.bytes_sent += packet.size
-        self.transmit(packet)
+        if not self.transmit(packet):
+            self.stats.send_fault_drops += 1
 
     # ------------------------------------------------------------------
     # Retransmission timer

@@ -216,6 +216,52 @@ def test_engine_bench_workloads_run_at_tiny_scale() -> None:
     assert engine_bench.run_timer_churn(use_wheel=False, flows=8, ticks=2_000) > 2_000
 
 
+def test_packet_bench_workloads_run_and_agree_across_variants() -> None:
+    packet_bench = importlib.import_module("packet_bench")
+    # Fast and naive variants must process the same packet populations.
+    assert packet_bench.run_forward(400, naive=False) == 400
+    assert packet_bench.run_forward(400, naive=True) == 400
+    assert packet_bench.run_incast(320, naive=False) == 320
+    assert packet_bench.run_incast(320, naive=True) == 320
+
+
+def test_packet_bench_check_gate_flags_regressions(tmp_path) -> None:
+    packet_bench = importlib.import_module("packet_bench")
+    baseline_path = tmp_path / "baseline.json"
+    baseline_path.write_text(
+        '{"packet_path": {"normalised": {"forward_medium": 10.0}}}'
+    )
+    good = {"normalised": {"forward_medium": 10.5},
+            "forwarding_improvement_pct": 30.0, "incast_improvement_pct": 5.0}
+    assert packet_bench.check(good, baseline_path, tolerance=0.20,
+                              min_improvement=25.0) == 0
+    regressed = {"normalised": {"forward_medium": 14.0},
+                 "forwarding_improvement_pct": 30.0, "incast_improvement_pct": 5.0}
+    assert packet_bench.check(regressed, baseline_path, tolerance=0.20,
+                              min_improvement=25.0) == 1
+    too_small_win = {"normalised": {"forward_medium": 10.0},
+                     "forwarding_improvement_pct": 10.0, "incast_improvement_pct": 5.0}
+    assert packet_bench.check(too_small_win, baseline_path, tolerance=0.20,
+                              min_improvement=25.0) == 1
+    missing_section = tmp_path / "empty.json"
+    missing_section.write_text("{}")
+    assert packet_bench.check(good, missing_section, tolerance=0.20,
+                              min_improvement=25.0) == 1
+
+
+def test_packet_bench_output_merges_with_engine_sections(tmp_path) -> None:
+    import json as _json
+
+    packet_bench = importlib.import_module("packet_bench")
+    artifact = tmp_path / "BENCH.json"
+    artifact.write_text('{"schema": 1, "normalised": {"event_chain": 1.0}}')
+    packet_bench.merge_output({"normalised": {"forward_medium": 9.9}}, artifact)
+    merged = _json.loads(artifact.read_text())
+    assert merged["schema"] == 1  # engine section preserved
+    assert merged["normalised"] == {"event_chain": 1.0}
+    assert merged["packet_path"]["normalised"] == {"forward_medium": 9.9}
+
+
 def test_engine_bench_check_gate_flags_regressions(tmp_path) -> None:
     engine_bench = importlib.import_module("engine_bench")
     baseline_path = tmp_path / "baseline.json"

@@ -126,6 +126,37 @@ def test_link_parameter_validation() -> None:
         Interface(simulator, host, rate_bps=1e6, delay_s=-1.0)
 
 
+def test_idle_interface_bypass_keeps_queue_stats_exact() -> None:
+    # The idle-transmitter fast path must count packets exactly as if they
+    # had been enqueued and immediately dequeued.
+    simulator = Simulator()
+    a = _SinkHost(simulator, "a", 1)
+    b = _SinkHost(simulator, "b", 2)
+    iface_ab, _ = connect(simulator, a, b, rate_bps=1e6, delay_s=0.0)
+    iface_ab.send(_packet(dst=2))  # idle: bypasses the deque
+    iface_ab.send(_packet(dst=2))  # busy: queued for real
+    simulator.run()
+    stats = iface_ab.queue.stats
+    assert stats.enqueued_packets == 2
+    assert stats.dequeued_packets == 2
+    assert stats.enqueued_bytes == stats.dequeued_bytes == 2000
+    assert stats.dropped_packets == 0
+    assert len(b.delivered) == 2
+
+
+def test_idle_interface_bypass_respects_byte_bound() -> None:
+    simulator = Simulator()
+    a = _SinkHost(simulator, "a", 1)
+    b = _SinkHost(simulator, "b", 2)
+    iface_ab, _ = connect(
+        simulator, a, b, rate_bps=1e6, delay_s=0.0,
+        queue_factory=lambda: DropTailQueue(capacity_packets=None, capacity_bytes=500),
+    )
+    assert not iface_ab.send(_packet(dst=2, payload=1000))  # larger than the buffer
+    assert iface_ab.queue.stats.dropped_packets == 1
+    assert a.dropped_packets == 1
+
+
 def test_drop_callback_invoked() -> None:
     simulator = Simulator()
     a = _SinkHost(simulator, "a", 1)
@@ -139,3 +170,26 @@ def test_drop_callback_invoked() -> None:
     for _ in range(4):
         iface_ab.send(_packet(dst=2))
     assert len(dropped) == 2
+
+
+def test_trace_emitters_respect_runtime_enabled_toggle() -> None:
+    # Nodes bind drop emitters once, but any non-null sink keeps the dynamic
+    # `enabled` check: toggling it mid-run must start/stop loss events just
+    # like every other guarded emitter in the codebase.
+    from repro.sim.tracing import RecordingTraceSink
+
+    simulator = Simulator()
+    sink = RecordingTraceSink()
+    sink.enabled = False
+    a = Host(simulator, "a", 1, trace=sink)
+    b = Host(simulator, "b", 2, trace=sink)
+    iface_ab, _ = connect(
+        simulator, a, b, rate_bps=1e6, delay_s=0.0,
+        queue_factory=lambda: DropTailQueue(capacity_packets=1),
+    )
+    for _ in range(3):
+        iface_ab.send(_packet(dst=2))  # third offer overflows silently
+    assert sink.count("packet_drop") == 0
+    sink.enabled = True
+    iface_ab.send(_packet(dst=2))
+    assert sink.count("packet_drop") == 1

@@ -120,6 +120,60 @@ def test_install_route_rejects_empty_next_hops() -> None:
         topology.switches[0].install_route(123, [])
 
 
+def test_routes_to_returns_a_copy_not_the_live_table_entry() -> None:
+    # Regression: routes_to used to return the forwarding table's own list,
+    # so a caller sorting/filtering/clearing the result silently corrupted
+    # forwarding for every later packet.
+    simulator = Simulator()
+    topology = TwoPathTopology(simulator, paths=3)
+    ingress = topology.node("ingress")
+    destination = topology.receiver.address
+    installed = list(ingress.forwarding_table[destination])
+
+    routes = ingress.routes_to(destination)
+    routes.clear()
+    routes.append(999)
+    assert ingress.forwarding_table[destination] == installed
+
+    # Mutating one returned copy must not affect another.
+    assert ingress.routes_to(destination) == installed
+    # Missing destinations still yield a (fresh, mutable) empty list.
+    empty = ingress.routes_to(424242)
+    empty.append(1)
+    assert ingress.routes_to(424242) == []
+
+    # And forwarding still works after the attempted corruption.
+    collector = _Collector()
+    topology.receiver.bind(5001, collector)
+    topology.sender.send(_packet(src=topology.sender.address, dst=destination))
+    simulator.run()
+    assert len(collector.packets) == 1
+
+
+def test_switch_flow_hash_memo_is_exact_and_bounded() -> None:
+    from repro.net import ecmp
+    from repro.net.switch import HASH_CACHE_LIMIT, Switch
+
+    simulator = Simulator()
+    switch = Switch(simulator, "sw", ecmp_salt=7)
+    packet = _packet(src=1, dst=2)
+    assert switch.flow_hash_for(packet) == ecmp.ecmp_hash(packet, salt=7)
+    # Memo hit returns the identical digest.
+    assert switch.flow_hash_for(packet) == ecmp.ecmp_hash(packet, salt=7)
+
+    # The memo never grows past its bound, even under packet scatter.
+    for port in range(HASH_CACHE_LIMIT + 100):
+        switch.flow_hash_for(_packet(src=1, dst=2, src_port=port % 65535 + 1))
+        assert len(switch._hash_cache) <= HASH_CACHE_LIMIT
+
+    # Changing the salt invalidates the memo and changes the digests.
+    old_digest = switch.flow_hash_for(packet)
+    switch.ecmp_salt = 8
+    assert switch._hash_cache == {}
+    assert switch.flow_hash_for(packet) == ecmp.ecmp_hash(packet, salt=8)
+    assert switch.flow_hash_for(packet) != old_digest
+
+
 def test_network_monitor_snapshot_aggregates_by_layer() -> None:
     simulator = Simulator()
     topology = TwoPathTopology(simulator, paths=2)

@@ -226,3 +226,42 @@ class TestSenderStateMachine:
         sender.on_packet(stray)  # must not raise nor mark the flow complete
         assert not sender.complete
         assert sender.snd_una == 0
+
+
+class TestSendFaultAccounting:
+    """Host.send returning False must not be silently discarded (a down or
+    congested local NIC is a loss event, like an interface fault drop)."""
+
+    def test_sender_counts_syn_refused_by_down_nic(self) -> None:
+        harness = make_tcp_transfer(5_000)
+        harness.topology.sender.interfaces[0].set_up(False)
+        harness.sender.start()
+        assert harness.sender.stats.packets_sent == 1
+        assert harness.sender.stats.send_fault_drops == 1
+        # The interface-level fault accounting sees the same event.
+        assert harness.topology.sender.interfaces[0].fault_drops == 1
+
+    def test_sender_counts_data_dropped_by_own_uplink_queue(self) -> None:
+        config = TcpConfig(mss=1000, initial_cwnd_segments=10)
+        harness = make_tcp_transfer(
+            100_000, queue_capacity_packets=1, config=config
+        )
+        harness.run()
+        # A 10-segment burst into a 1-packet uplink buffer must shed locally.
+        assert harness.sender.stats.send_fault_drops > 0
+        assert harness.receiver.complete  # retransmissions still finish the flow
+
+    def test_receiver_counts_synack_refused_by_down_nic(self) -> None:
+        harness = make_tcp_transfer(5_000)
+        receiver_host = harness.topology.receiver
+        receiver_host.interfaces[0].set_up(False)
+        syn = Packet(
+            flow_id=1,
+            src=harness.topology.sender.address,
+            dst=receiver_host.address,
+            src_port=49152,
+            dst_port=5001,
+            flags=0x01,  # SYN
+        )
+        harness.receiver.on_packet(syn)
+        assert harness.receiver.send_fault_drops == 1
