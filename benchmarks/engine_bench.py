@@ -226,7 +226,9 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     report = build_report(repeats=args.repeats)
-    print(json.dumps(report, indent=2))
+    # sort_keys + trailing newline: artifact bytes depend only on the
+    # measured values, never on dict construction order.
+    print(json.dumps(report, indent=2, sort_keys=True))
     if args.output is not None:
         # Merge: foreign sections of an existing artifact (e.g. the
         # packet_path section written by packet_bench.py) are preserved.
@@ -238,7 +240,7 @@ def main(argv=None) -> int:
                 if key not in report
             }
         merged.update(report)
-        args.output.write_text(json.dumps(merged, indent=2) + "\n")
+        args.output.write_text(json.dumps(merged, indent=2, sort_keys=True) + "\n")
         print(f"wrote {args.output}", file=sys.stderr)
     if args.check is not None:
         return check(report, args.check, args.tolerance, args.min_improvement)

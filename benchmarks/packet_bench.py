@@ -528,7 +528,9 @@ def merge_output(report: Dict[str, object], path: Path) -> None:
     if path.exists():
         artifact = json.loads(path.read_text())
     artifact["packet_path"] = report
-    path.write_text(json.dumps(artifact, indent=2) + "\n")
+    # sort_keys + trailing newline: artifact bytes depend only on the
+    # measured values, never on dict construction order.
+    path.write_text(json.dumps(artifact, indent=2, sort_keys=True) + "\n")
 
 
 def check(report: Dict[str, object], baseline_path: Path, tolerance: float,
@@ -579,7 +581,7 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     report = build_report(repeats=args.repeats)
-    print(json.dumps(report, indent=2))
+    print(json.dumps(report, indent=2, sort_keys=True))
     if args.output is not None:
         merge_output(report, args.output)
         print(f"merged packet_path into {args.output}", file=sys.stderr)

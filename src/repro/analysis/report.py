@@ -127,6 +127,57 @@ def scenario_matrix_markdown(
     return markdown_table(headers, table_rows)
 
 
+def campaign_report_markdown(
+    spec: object,
+    rows: Sequence[Mapping[str, object]],
+    baseline_protocol: str = "tcp",
+) -> str:
+    """The full markdown report of one campaign, from per-cell rows.
+
+    ``spec`` is a :class:`repro.campaigns.spec.CampaignSpec` (duck-typed
+    here to keep this module free of a campaigns dependency); ``rows`` are
+    the dictionaries from :func:`repro.campaigns.runner.campaign_rows`, in
+    declared cell order.
+
+    The document is **deterministic**: it contains only the declared grid
+    and the simulated numbers — no timestamps, wall-clock, or cache
+    hit/miss counts — so regenerating it from the same artifacts always
+    yields identical bytes.  The per-scenario delta table is included when
+    it is well-defined: the baseline protocol is in the grid and every
+    scenario/protocol pair maps to exactly one row (no sweeps, single
+    replication).
+    """
+    lines: List[str] = [f"# Campaign report — {spec.name}", ""]
+    lines.append(f"* **Scale:** {spec.scale} (seed {spec.seed})")
+    lines.append("* **Scenarios:** " + ", ".join(spec.scenarios))
+    lines.append("* **Transports:** " + ", ".join(spec.protocols))
+    lines.append(f"* **Replications:** {spec.replications}")
+    if spec.sweeps:
+        axes = "; ".join(
+            f"{name} ∈ [{', '.join(str(value) for value in values)}]"
+            for name, values in spec.sweeps
+        )
+        lines.append(f"* **Sweeps:** {axes}")
+    lines.append(f"* **Cells:** {len(rows)}")
+    lines.extend(["", "## Per-cell results", ""])
+    if rows:
+        headers = list(rows[0].keys())
+        lines.append(markdown_table(headers, [[row[h] for h in headers] for row in rows]))
+    else:
+        lines.append("_No cells declared._")
+    deltas_apply = (
+        baseline_protocol in spec.protocols
+        and spec.replications == 1
+        and not spec.sweeps
+        and rows
+    )
+    if deltas_apply:
+        lines.extend(["", f"## Per-scenario deltas vs {baseline_protocol}", ""])
+        lines.append(scenario_matrix_markdown(rows, baseline_protocol=baseline_protocol))
+    lines.append("")
+    return "\n".join(lines)
+
+
 def experiment_section(
     title: str,
     paper_claim: str,

@@ -12,6 +12,10 @@ Exposes the experiment harness without writing any Python::
     repro-mmptcp scenarios list
     repro-mmptcp scenarios run core-link-failure --protocol mmptcp
     repro-mmptcp scenarios matrix --workers 4 --export-dir results/
+    repro-mmptcp campaign run --store results/store --workers 4 --report report.md
+    repro-mmptcp campaign status --store results/store
+    repro-mmptcp campaign report --store results/store --output report.md
+    repro-mmptcp campaign gc --store results/store
 
 Every sub-command prints the same tables the corresponding benchmark prints
 and can optionally export per-flow CSVs / JSON summaries via
@@ -26,7 +30,7 @@ from pathlib import Path
 from typing import Dict, List, Optional, Sequence
 
 from repro.experiments.coexistence import coexistence_rows, run_coexistence_experiment
-from repro.experiments.config import ExperimentConfig, paper_scale, reproduction_scale
+from repro.experiments.config import SCALES, ExperimentConfig, scaled_config
 from repro.experiments.deadline_study import deadline_rows, run_deadline_study
 from repro.experiments.figure1 import figure1a_series, figure1b_scatter, figure1c_scatter
 from repro.experiments.hotspot import hotspot_rows, run_hotspot_comparison
@@ -41,7 +45,20 @@ from repro.metrics.export import (
     write_summary_json,
 )
 from repro.analysis.report import scenario_matrix_markdown
+from repro.campaigns import (
+    CAMPAIGN_SCALES,
+    CampaignIncompleteError,
+    CampaignSpec,
+    campaign_gc,
+    campaign_report,
+    campaign_rows,
+    campaign_status,
+    outcome_report,
+    params_label,
+    run_campaign,
+)
 from repro.metrics.reporting import render_table
+from repro.store import RunStore, StoreError
 from repro.scenarios import (
     DEFAULT_MATRIX_PROTOCOLS,
     DEFAULT_MATRIX_SCENARIOS,
@@ -54,43 +71,14 @@ from repro.scenarios import (
 from repro.sim.units import megabits_per_second
 from repro.traffic.flowspec import ALL_PROTOCOLS, PROTOCOL_MMPTCP, PROTOCOL_MPTCP
 
-#: Named scales mirroring the benchmark suite's REPRO_BENCH_SCALE values.
-SCALES = ("quick", "large", "paper")
-
-#: The scenario commands additionally accept the matrix-friendly tiny scale.
-SCENARIO_SCALES = ("tiny",) + SCALES
-
-
-def _scaled_config(scale: str, seed: int) -> ExperimentConfig:
-    """The base configuration for one of the named scales."""
-    if scale == "paper":
-        return paper_scale(seed=seed)
-    config = reproduction_scale(
-        fattree_k=4,
-        hosts_per_edge=8,
-        link_rate_bps=megabits_per_second(100),
-        arrival_window_s=0.25,
-        drain_time_s=1.0,
-        short_flow_rate_per_sender=7.0,
-        long_flow_size_bytes=3_000_000,
-        max_short_flows=120,
-        initial_cwnd_segments=2,
-        seed=seed,
-    )
-    if scale == "large":
-        config = config.with_updates(
-            fattree_k=8,
-            arrival_window_s=0.5,
-            short_flow_rate_per_sender=10.0,
-            long_flow_size_bytes=10_000_000,
-            max_short_flows=600,
-        )
-    return config
+#: The scenario and campaign commands additionally accept the matrix-friendly
+#: tiny scale (same tuple as the campaign layer's).
+SCENARIO_SCALES = CAMPAIGN_SCALES
 
 
 def _config_from_args(args: argparse.Namespace) -> ExperimentConfig:
     """Build an :class:`ExperimentConfig` from the ``run`` sub-command's flags."""
-    config = _scaled_config(args.scale, args.seed)
+    config = scaled_config(args.scale, args.seed)
     overrides = {
         "protocol": args.protocol,
         "num_subflows": args.subflows,
@@ -174,7 +162,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_figure1a(args: argparse.Namespace) -> int:
-    config = _scaled_config(args.scale, args.seed)
+    config = scaled_config(args.scale, args.seed)
     counts = tuple(args.subflow_counts)
     rows = figure1a_series(config, counts, workers=args.workers)
     table_rows = [
@@ -195,7 +183,7 @@ def _cmd_figure1a(args: argparse.Namespace) -> int:
 
 
 def _cmd_figure1bc(args: argparse.Namespace, which: str) -> int:
-    config = _scaled_config(args.scale, args.seed)
+    config = scaled_config(args.scale, args.seed)
     builder = figure1b_scatter if which == "b" else figure1c_scatter
     result = builder(config, args.subflows)
     label = "MPTCP(8)" if which == "b" else "MMPTCP(PS + 8)"
@@ -206,7 +194,7 @@ def _cmd_figure1bc(args: argparse.Namespace, which: str) -> int:
 
 
 def _cmd_section3(args: argparse.Namespace) -> int:
-    config = _scaled_config(args.scale, args.seed)
+    config = scaled_config(args.scale, args.seed)
     comparison = section3_statistics(config, args.subflows)
     rows = [
         {"protocol": "mptcp", **comparison.mptcp.as_dict()},
@@ -219,7 +207,7 @@ def _cmd_section3(args: argparse.Namespace) -> int:
 
 
 def _cmd_loadsweep(args: argparse.Namespace) -> int:
-    config = _scaled_config(args.scale, args.seed)
+    config = scaled_config(args.scale, args.seed)
     points = run_load_sweep(
         config,
         protocols=tuple(args.protocols),
@@ -235,7 +223,7 @@ def _cmd_loadsweep(args: argparse.Namespace) -> int:
 
 
 def _cmd_coexistence(args: argparse.Namespace) -> int:
-    config = _scaled_config(args.scale, args.seed).with_updates(num_subflows=args.subflows)
+    config = scaled_config(args.scale, args.seed).with_updates(num_subflows=args.subflows)
     outcome = run_coexistence_experiment(config, protocols=tuple(args.protocols))
     rows = coexistence_rows(outcome)
     print("Co-existence — per-protocol statistics on a shared fabric")
@@ -246,7 +234,7 @@ def _cmd_coexistence(args: argparse.Namespace) -> int:
 
 
 def _cmd_hotspot(args: argparse.Namespace) -> int:
-    config = _scaled_config(args.scale, args.seed)
+    config = scaled_config(args.scale, args.seed)
     outcomes = run_hotspot_comparison(
         config,
         protocols=tuple(args.protocols),
@@ -262,7 +250,7 @@ def _cmd_hotspot(args: argparse.Namespace) -> int:
 
 
 def _cmd_incast(args: argparse.Namespace) -> int:
-    config = _scaled_config(args.scale, args.seed).with_updates(num_subflows=args.subflows)
+    config = scaled_config(args.scale, args.seed).with_updates(num_subflows=args.subflows)
     points = run_incast_sweep(
         config,
         protocols=tuple(args.protocols),
@@ -279,7 +267,7 @@ def _cmd_incast(args: argparse.Namespace) -> int:
 
 
 def _cmd_deadlines(args: argparse.Namespace) -> int:
-    config = _scaled_config(args.scale, args.seed)
+    config = scaled_config(args.scale, args.seed)
     outcomes = run_deadline_study(
         config,
         protocols=tuple(args.protocols),
@@ -294,10 +282,10 @@ def _cmd_deadlines(args: argparse.Namespace) -> int:
 
 
 def _scenario_scaled_config(scale: str, seed: int):
-    """Like :func:`_scaled_config` but with the extra ``tiny`` matrix scale."""
+    """Like :func:`scaled_config` but with the extra ``tiny`` matrix scale."""
     if scale == "tiny":
         return tiny_config(seed=seed)
-    return _scaled_config(scale, seed)
+    return scaled_config(scale, seed)
 
 
 def _cmd_scenarios_list(args: argparse.Namespace) -> int:
@@ -353,6 +341,134 @@ def _cmd_scenarios_matrix(args: argparse.Namespace) -> int:
               f"the requested transports {list(args.transports)})")
     _export_rows(rows, args.export_dir, "scenario_matrix")
     return 0
+
+
+# ---------------------------------------------------------------------------
+# Campaign commands
+# ---------------------------------------------------------------------------
+
+
+def _campaign_spec_from_args(args: argparse.Namespace) -> CampaignSpec:
+    """The campaign spec: from ``--spec FILE`` when given, else from flags."""
+    if args.spec:
+        return CampaignSpec.from_file(args.spec)
+    return CampaignSpec(
+        name=args.name,
+        scenarios=tuple(args.scenarios),
+        protocols=tuple(args.transports),
+        replications=args.replications,
+        scale=args.scale,
+        seed=args.seed,
+    )
+
+
+def _campaign_command(args: argparse.Namespace, body) -> int:
+    """Run one campaign sub-command with uniform error reporting.
+
+    Every anticipated failure — unknown scenario (``KeyError`` from the
+    registry), missing cells, a corrupt or tampered artifact
+    (``StoreError``), an unreadable or invalid ``--spec`` file — prints a
+    one-line diagnostic to stderr and exits 2 instead of dumping a
+    traceback.
+    """
+    try:
+        spec = _campaign_spec_from_args(args)
+        store = RunStore(args.store)
+        return body(spec, store)
+    except CampaignIncompleteError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    except (StoreError, OSError, ValueError) as exc:
+        print(f"campaign command failed: {exc}", file=sys.stderr)
+        return 2
+
+
+def _campaign_summary_line(name: str, cells: int, hits: int, simulated: int, store: str) -> str:
+    """The machine-greppable one-line outcome (CI asserts on ``simulated=``)."""
+    return (
+        f"campaign '{name}': cells={cells} cache_hits={hits} "
+        f"simulated={simulated} store={store}"
+    )
+
+
+def _cmd_campaign_run(args: argparse.Namespace) -> int:
+    def body(spec: CampaignSpec, store: RunStore) -> int:
+        outcome = run_campaign(spec, store, workers=args.workers)
+        rows = campaign_rows(outcome.cells)
+        print(f"Campaign '{spec.name}' — {len(spec.scenarios)} scenario(s) × "
+              f"{len(spec.protocols)} transport(s) × {len(spec.sweep_points())} sweep "
+              f"point(s) × {spec.replications} replication(s)")
+        print(_rows_table(rows))
+        print(_campaign_summary_line(
+            spec.name, len(outcome.cells), outcome.cache_hits, outcome.simulated, args.store
+        ))
+        if args.report:
+            # In-memory rows yield bytes identical to campaign_report's
+            # store-backed path, without re-reading the artifacts just written.
+            report = outcome_report(outcome, baseline_protocol=args.baseline_protocol)
+            path = Path(args.report)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(report)
+            print(f"wrote {path}")
+        _export_rows(rows, args.export_dir, f"campaign_{spec.name}")
+        return 0
+
+    return _campaign_command(args, body)
+
+
+def _cmd_campaign_status(args: argparse.Namespace) -> int:
+    def body(spec: CampaignSpec, store: RunStore) -> int:
+        statuses = campaign_status(spec, store)
+        rows = [
+            {
+                "scenario": status.scenario,
+                "protocol": status.protocol,
+                "params": params_label(status.params),
+                "replication": status.replication,
+                "stored": status.stored,
+                "key": status.key[:12],
+            }
+            for status in statuses
+        ]
+        print(f"Campaign '{spec.name}' store status — {args.store}")
+        print(_rows_table(rows))
+        stored = sum(1 for status in statuses if status.stored)
+        print(f"campaign '{spec.name}': cells={len(statuses)} stored={stored} "
+              f"missing={len(statuses) - stored}")
+        return 0
+
+    return _campaign_command(args, body)
+
+
+def _cmd_campaign_report(args: argparse.Namespace) -> int:
+    def body(spec: CampaignSpec, store: RunStore) -> int:
+        report = campaign_report(spec, store, baseline_protocol=args.baseline_protocol)
+        if args.output:
+            path = Path(args.output)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(report)
+            print(f"wrote {path}")
+        else:
+            print(report, end="")
+        return 0
+
+    return _campaign_command(args, body)
+
+
+def _cmd_campaign_gc(args: argparse.Namespace) -> int:
+    def body(spec: CampaignSpec, store: RunStore) -> int:
+        removed = campaign_gc(spec, store, dry_run=args.dry_run)
+        verb = "would remove" if args.dry_run else "removed"
+        for key in removed:
+            print(f"{verb} {key}")
+        print(f"campaign '{spec.name}' gc: {verb} {len(removed)} artifact(s) "
+              f"from {args.store}")
+        return 0
+
+    return _campaign_command(args, body)
 
 
 # ---------------------------------------------------------------------------
@@ -496,6 +612,62 @@ def build_parser() -> argparse.ArgumentParser:
                              help="protocol the delta columns compare against")
     _add_scenario_arguments(scen_matrix, workers=True)
     scen_matrix.set_defaults(handler=_cmd_scenarios_matrix)
+
+    campaign = subparsers.add_parser(
+        "campaign",
+        help="resumable, store-backed campaigns (scenario × transport × sweep × replication)")
+    campaign_sub = campaign.add_subparsers(dest="campaign_command", required=True)
+
+    def _add_campaign_arguments(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("--store", required=True,
+                         help="run-store directory (created on first use)")
+        sub.add_argument("--spec", default=None,
+                         help="campaign spec JSON file (overrides the grid flags)")
+        sub.add_argument("--name", default="cli",
+                         help="campaign name when no --spec file is given")
+        sub.add_argument("--scenarios", nargs="+", default=list(DEFAULT_MATRIX_SCENARIOS),
+                         help="scenario names (default: baseline core-link-failure)")
+        sub.add_argument("--transports", nargs="+",
+                         default=list(DEFAULT_MATRIX_PROTOCOLS), choices=ALL_PROTOCOLS)
+        sub.add_argument("--replications", type=int, default=1,
+                         help="seeded replications per cell (default 1)")
+        sub.add_argument("--scale", choices=SCENARIO_SCALES, default="tiny",
+                         help="experiment scale (tiny/quick/large/paper)")
+        sub.add_argument("--seed", type=int, default=20150817, help="campaign root seed")
+        sub.add_argument("--baseline-protocol", default="tcp", choices=ALL_PROTOCOLS,
+                         help="protocol the report's delta table compares against")
+
+    camp_run = campaign_sub.add_parser(
+        "run", help="run the campaign with cache-aware dispatch (hits skip simulation)")
+    _add_campaign_arguments(camp_run)
+    camp_run.add_argument("--workers", type=_workers_count, default=1,
+                          help="process-pool size for cache misses (1 = serial, "
+                               "0 = one per CPU; results are identical for any value)")
+    camp_run.add_argument("--report", default=None,
+                          help="also write the markdown report to this file")
+    camp_run.add_argument("--export-dir", default=None,
+                          help="directory for the per-cell CSV export (omit to skip)")
+    camp_run.set_defaults(handler=_cmd_campaign_run)
+
+    camp_status = campaign_sub.add_parser(
+        "status", help="show which cells are persisted, without running anything")
+    _add_campaign_arguments(camp_status)
+    camp_status.set_defaults(handler=_cmd_campaign_status)
+
+    camp_report = campaign_sub.add_parser(
+        "report", help="regenerate the report from stored artifacts (zero simulation)")
+    _add_campaign_arguments(camp_report)
+    camp_report.add_argument("--output", default=None,
+                             help="write the markdown report here (default: stdout)")
+    camp_report.set_defaults(handler=_cmd_campaign_report)
+
+    camp_gc = campaign_sub.add_parser(
+        "gc", help="drop this campaign's stored artifacts that the spec no longer "
+                   "declares (other campaigns in the store are untouched)")
+    _add_campaign_arguments(camp_gc)
+    camp_gc.add_argument("--dry-run", action="store_true",
+                         help="list removable artifacts without deleting them")
+    camp_gc.set_defaults(handler=_cmd_campaign_gc)
 
     return parser
 

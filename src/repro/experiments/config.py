@@ -145,6 +145,44 @@ def reproduction_scale(**overrides) -> ExperimentConfig:
     return ExperimentConfig(**overrides)
 
 
+#: Named scales shared by the CLI and the campaign layer ("tiny", the
+#: scenario-matrix scale, lives in :func:`repro.scenarios.spec.tiny_config`).
+SCALES = ("quick", "large", "paper")
+
+
+def scaled_config(scale: str, seed: int) -> ExperimentConfig:
+    """The base configuration for one of the named scales in :data:`SCALES`.
+
+    ``quick`` is the CI-friendly k=4 fabric, ``large`` the k=8 variant with a
+    longer arrival window, ``paper`` the full :func:`paper_scale` setup.
+    """
+    if scale == "paper":
+        return paper_scale(seed=seed)
+    if scale not in SCALES:
+        raise ValueError(f"unknown scale {scale!r}; expected one of {SCALES}")
+    config = reproduction_scale(
+        fattree_k=4,
+        hosts_per_edge=8,
+        link_rate_bps=megabits_per_second(100),
+        arrival_window_s=0.25,
+        drain_time_s=1.0,
+        short_flow_rate_per_sender=7.0,
+        long_flow_size_bytes=3_000_000,
+        max_short_flows=120,
+        initial_cwnd_segments=2,
+        seed=seed,
+    )
+    if scale == "large":
+        config = config.with_updates(
+            fattree_k=8,
+            arrival_window_s=0.5,
+            short_flow_rate_per_sender=10.0,
+            long_flow_size_bytes=10_000_000,
+            max_short_flows=600,
+        )
+    return config
+
+
 def paper_scale(**overrides) -> ExperimentConfig:
     """The paper's full-size setup: 512 servers, 4:1 over-subscription, 1 Gbps links.
 

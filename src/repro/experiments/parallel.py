@@ -32,7 +32,7 @@ summary metrics — is identical.
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -126,11 +126,20 @@ class SweepRunner:
         self,
         specs: Sequence[RunSpec],
         progress: Optional[Callable[[RunSpec], None]] = None,
+        on_result: Optional[Callable[[RunSpec, ExperimentResult], None]] = None,
     ) -> List[ExperimentResult]:
         """Execute ``specs`` and return results ordered by point index.
 
         ``progress`` is invoked once per point, in index order, when the
         point is dispatched (serial: immediately before it runs).
+
+        ``on_result`` is invoked in the **main process**, once per point, in
+        **completion order** — as soon as the point's result is available,
+        not when the whole sweep is done.  This is the persistence hook the
+        campaign store uses: a killed sweep has already delivered every
+        finished point to ``on_result``, so completed work survives the
+        interruption even though ``run`` never returned.  The returned list
+        is index-ordered regardless.
         """
         ordered = sorted(specs, key=lambda spec: spec.index)
         if self.workers <= 1 or len(ordered) <= 1:
@@ -138,7 +147,10 @@ class SweepRunner:
             for spec in ordered:
                 if progress is not None:
                     progress(spec)
-                results.append(execute_spec(spec))
+                result = execute_spec(spec)
+                if on_result is not None:
+                    on_result(spec, result)
+                results.append(result)
             return results
 
         pool_size = min(self.workers, len(ordered))
@@ -148,6 +160,15 @@ class SweepRunner:
                 futures.append(pool.submit(execute_spec, spec))
                 if progress is not None:
                     progress(spec)
+            if on_result is not None:
+                # Deliver results as they complete so the callback fires at
+                # the earliest possible moment, then merge by index below.
+                by_future = {future: spec for future, spec in zip(futures, ordered)}
+                pending = set(futures)
+                while pending:
+                    done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                    for future in done:
+                        on_result(by_future[future], future.result())
             # Collecting in submission order *is* the deterministic merge:
             # future i holds point i however the pool interleaved the work.
             return [future.result() for future in futures]
@@ -157,9 +178,10 @@ def run_specs(
     specs: Sequence[RunSpec],
     workers: Optional[int] = 1,
     progress: Optional[Callable[[RunSpec], None]] = None,
+    on_result: Optional[Callable[[RunSpec, ExperimentResult], None]] = None,
 ) -> List[ExperimentResult]:
-    """Convenience wrapper: ``SweepRunner(workers).run(specs, progress)``."""
-    return SweepRunner(workers).run(specs, progress=progress)
+    """Convenience wrapper: ``SweepRunner(workers).run(specs, ...)``."""
+    return SweepRunner(workers).run(specs, progress=progress, on_result=on_result)
 
 
 def specs_from_configs(

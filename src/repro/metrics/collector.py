@@ -121,8 +121,33 @@ class ExperimentMetrics:
             points.append({"flow_id": float(flow.flow_id), "completion_time_s": completion})
         return points
 
+    #: The keys of :meth:`summary_dict`, in emission order.  This order is a
+    #: **public contract**: CSV/table exports and store artifacts derive
+    #: their column/key order from dict insertion order, so reordering these
+    #: changes exported bytes.  Extend at the end only.
+    SUMMARY_FIELDS = (
+        "short_flows",
+        "short_flows_completed",
+        "short_fct_mean_ms",
+        "short_fct_std_ms",
+        "short_fct_p99_ms",
+        "short_completion_rate",
+        "rto_incidence",
+        "tail_over_200ms",
+        "long_flow_throughput_mbps",
+        "fault_drops",
+        "core_loss_rate",
+        "aggregation_loss_rate",
+        "edge_loss_rate",
+        "core_utilisation",
+    )
+
     def summary_dict(self) -> Dict[str, float]:
-        """A flat dictionary of the headline numbers (useful for reports/tests)."""
+        """A flat dictionary of the headline numbers (useful for reports/tests).
+
+        Key order is insertion-stable and equals :data:`SUMMARY_FIELDS`;
+        callers may rely on it for deterministic, byte-comparable exports.
+        """
         fct = self.short_flow_fct_summary()
         return {
             "short_flows": float(len(self.short_flows)),

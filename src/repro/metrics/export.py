@@ -78,17 +78,36 @@ def write_flow_records_csv(records: Iterable[FlowRecord], path: PathLike) -> Pat
     return destination
 
 
+def dumps_deterministic(payload: object, indent: Optional[int] = 2) -> str:
+    """The deterministic JSON text of ``payload``, trailing newline included.
+
+    The repository-wide JSON emission policy, shared by metric exports,
+    benchmark artifacts and the run store: keys sorted, ``allow_nan=False``
+    (NaN/Infinity have no portable JSON form), floats rendered by CPython's
+    shortest round-trip ``repr`` (a pure function of the IEEE-754 value,
+    identical across platforms), and exactly one trailing newline.  Equal
+    payloads therefore always serialise to equal bytes, which is what makes
+    artifacts diffable and byte-comparable across runs and machines.
+    """
+    return json.dumps(payload, indent=indent, sort_keys=True, allow_nan=False) + "\n"
+
+
+def write_json(payload: object, path: PathLike) -> Path:
+    """Write ``payload`` with :func:`dumps_deterministic` and return the path."""
+    destination = Path(path)
+    destination.parent.mkdir(parents=True, exist_ok=True)
+    destination.write_text(dumps_deterministic(payload))
+    return destination
+
+
 def write_summary_json(
     metrics: ExperimentMetrics, path: PathLike, extra: Optional[Dict[str, object]] = None
 ) -> Path:
     """Write the headline summary (plus optional provenance) as JSON."""
-    destination = Path(path)
-    destination.parent.mkdir(parents=True, exist_ok=True)
     payload: Dict[str, object] = dict(metrics.summary_dict())
     if extra:
         payload.update(extra)
-    destination.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
-    return destination
+    return write_json(payload, path)
 
 
 def write_series_csv(

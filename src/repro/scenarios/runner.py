@@ -119,28 +119,59 @@ def run_scenario(
     return cells[0]
 
 
+#: The metric columns of a per-cell row, in emission order.  This order is a
+#: **public contract**: CSV headers and report tables are generated from row
+#: insertion order, so reordering these keys changes exported bytes.
+CELL_METRIC_FIELDS = (
+    "short_flows",
+    "completion_rate",
+    "mean_fct_ms",
+    "p99_fct_ms",
+    "rto_incidence",
+    "retransmits",
+    "rtos",
+    "fault_drops",
+    "long_tput_mbps",
+)
+
+
+def result_metrics_row(result: ExperimentResult) -> Dict[str, object]:
+    """The shared metric columns of one run, keyed per :data:`CELL_METRIC_FIELDS`.
+
+    Used by both scenario-matrix rows and campaign-report rows, so the two
+    table families stay column-compatible.  Everything here derives from the
+    simulated metrics only — never from wall-clock or worker counts — which
+    keeps rows byte-stable across re-runs and cache hits.
+    """
+    metrics = result.metrics
+    fct = metrics.short_flow_fct_summary()
+    return {
+        "short_flows": len(metrics.short_flows),
+        "completion_rate": metrics.short_flow_completion_rate(),
+        "mean_fct_ms": fct.mean,
+        "p99_fct_ms": fct.p99,
+        "rto_incidence": metrics.rto_incidence(),
+        "retransmits": sum(record.retransmitted_packets for record in metrics.flows),
+        "rtos": sum(record.rto_events for record in metrics.flows),
+        "fault_drops": metrics.fault_drops,
+        "long_tput_mbps": metrics.mean_long_flow_throughput_bps() / 1e6,
+    }
+
+
 def matrix_rows(cells: Sequence[ScenarioCell]) -> List[Dict[str, object]]:
-    """Flat per-cell rows for table rendering / CSV export / reports."""
+    """Flat per-cell rows for table rendering / CSV export / reports.
+
+    Key order — ``scenario``, ``protocol``, ``faults``, then
+    :data:`CELL_METRIC_FIELDS` — is insertion-stable and part of the public
+    contract (CSV headers come from it); rows appear in matrix (cell) order.
+    """
     rows: List[Dict[str, object]] = []
     for cell in cells:
-        metrics = cell.result.metrics
-        fct = metrics.short_flow_fct_summary()
-        retransmits = sum(record.retransmitted_packets for record in metrics.flows)
-        rtos = sum(record.rto_events for record in metrics.flows)
-        rows.append(
-            {
-                "scenario": cell.scenario,
-                "protocol": cell.protocol,
-                "faults": len(cell.spec.faults),
-                "short_flows": len(metrics.short_flows),
-                "completion_rate": metrics.short_flow_completion_rate(),
-                "mean_fct_ms": fct.mean,
-                "p99_fct_ms": fct.p99,
-                "rto_incidence": metrics.rto_incidence(),
-                "retransmits": retransmits,
-                "rtos": rtos,
-                "fault_drops": metrics.fault_drops,
-                "long_tput_mbps": metrics.mean_long_flow_throughput_bps() / 1e6,
-            }
-        )
+        row: Dict[str, object] = {
+            "scenario": cell.scenario,
+            "protocol": cell.protocol,
+            "faults": len(cell.spec.faults),
+        }
+        row.update(result_metrics_row(cell.result))
+        rows.append(row)
     return rows

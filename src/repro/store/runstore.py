@@ -1,0 +1,335 @@
+"""The on-disk content-addressed run store.
+
+Layout (all paths relative to the store root)::
+
+    index.json                     # convenience index: key -> {sha256, meta}
+    objects/<key[:2]>/<key>.json   # one artifact per completed run
+
+The **objects directory is the source of truth**: ``has``/``get``/``keys``
+work purely off artifact files, so a lost or stale ``index.json`` can always
+be rebuilt with :meth:`RunStore.reindex`.  Artifacts are written atomically
+(temp file + ``os.replace`` in the same directory), which is what makes a
+killed campaign resumable — an artifact either exists completely or not at
+all, never half-written.
+
+Every artifact embeds its own key and a SHA-256 of the canonical encoding of
+its payload; :meth:`RunStore.get` verifies both and raises
+:class:`StoreIntegrityError` on any mismatch, so a corrupted or hand-edited
+artifact can never silently masquerade as a cached result.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Set, Tuple, Union
+
+from repro.experiments.runner import ExperimentResult
+from repro.metrics.export import dumps_deterministic
+from repro.store.canonical import STORE_SCHEMA_VERSION, canonical_dumps, sha256_hex
+from repro.store.serialize import result_from_dict, result_to_dict
+
+PathLike = Union[str, Path]
+
+_KEY_HEX_LENGTH = 64  # SHA-256
+
+
+class StoreError(Exception):
+    """Base class for run-store failures."""
+
+
+class StoreIntegrityError(StoreError):
+    """An artifact's content does not match its recorded key or hash."""
+
+
+def _validate_key(key: str) -> str:
+    if (
+        not isinstance(key, str)
+        or len(key) != _KEY_HEX_LENGTH
+        or any(ch not in "0123456789abcdef" for ch in key)
+    ):
+        raise StoreError(f"malformed store key {key!r} (expected 64 lowercase hex chars)")
+    return key
+
+
+def _atomic_write_text(path: Path, text: str) -> None:
+    """Write ``text`` to ``path`` atomically (same-directory temp + replace)."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    temp = path.with_name(path.name + f".tmp.{os.getpid()}")
+    temp.write_text(text)
+    os.replace(temp, path)
+
+
+class RunStore:
+    """Content-addressed persistence for completed experiment runs."""
+
+    INDEX_NAME = "index.json"
+    OBJECTS_DIR = "objects"
+
+    def __init__(self, root: PathLike) -> None:
+        self.root = Path(root)
+
+    # ------------------------------------------------------------------
+    # Paths
+    # ------------------------------------------------------------------
+
+    @property
+    def objects_root(self) -> Path:
+        return self.root / self.OBJECTS_DIR
+
+    @property
+    def index_path(self) -> Path:
+        return self.root / self.INDEX_NAME
+
+    def object_path(self, key: str) -> Path:
+        """Where the artifact for ``key`` lives (whether or not it exists)."""
+        _validate_key(key)
+        return self.objects_root / key[:2] / f"{key}.json"
+
+    # ------------------------------------------------------------------
+    # Core API
+    # ------------------------------------------------------------------
+
+    def has(self, key: str) -> bool:
+        """True when a completed artifact for ``key`` is on disk."""
+        return self.object_path(key).exists()
+
+    def put(
+        self,
+        key: str,
+        result: ExperimentResult,
+        meta: Optional[Mapping[str, Any]] = None,
+        update_index: bool = True,
+    ) -> Path:
+        """Persist ``result`` under ``key`` atomically; returns the artifact path.
+
+        ``meta`` carries free-form provenance labels (campaign name, cell
+        coordinates); it is stored alongside the payload but excluded from
+        the integrity hash, so relabelling never invalidates a result.
+        Re-putting an existing key overwrites it atomically (last write
+        wins; payloads for the same key are byte-identical by construction).
+
+        ``update_index=False`` skips the per-put index rewrite; bulk writers
+        (the campaign runner) batch their entries into one
+        :meth:`index_add` call instead, since ``has``/``get`` never consult
+        the index — it is a rebuildable convenience cache.
+        """
+        path, entry = self.put_entry(key, result, meta)
+        if update_index:
+            self.index_add({key: entry})
+        return path
+
+    def put_entry(
+        self,
+        key: str,
+        result: ExperimentResult,
+        meta: Optional[Mapping[str, Any]] = None,
+    ) -> Tuple[Path, Dict[str, Any]]:
+        """Like :meth:`put` with ``update_index=False``, but also returns the
+        index entry (``{"sha256", "meta"}``) so batching callers never have
+        to re-read the artifact to index it."""
+        payload = result_to_dict(result)
+        body = canonical_dumps(payload)
+        artifact = {
+            "key": _validate_key(key),
+            "schema": STORE_SCHEMA_VERSION,
+            "payload_sha256": sha256_hex(body),
+            "meta": dict(meta or {}),
+            "payload": payload,
+        }
+        path = self.object_path(key)
+        _atomic_write_text(path, dumps_deterministic(artifact))
+        return path, {"sha256": artifact["payload_sha256"], "meta": artifact["meta"]}
+
+    def get(self, key: str) -> ExperimentResult:
+        """Load and verify the artifact for ``key``.
+
+        Raises ``KeyError`` when absent and :class:`StoreIntegrityError`
+        when the artifact fails verification (embedded key mismatch, hash
+        mismatch, unparseable JSON).
+        """
+        artifact = self.get_artifact(key)
+        return result_from_dict(artifact["payload"])
+
+    def get_artifact(self, key: str) -> Dict[str, Any]:
+        """The raw verified artifact document (payload + meta + hashes)."""
+        path = self.object_path(key)
+        if not path.exists():
+            raise KeyError(f"store has no entry for key {key}")
+        try:
+            artifact = json.loads(path.read_text())
+        except json.JSONDecodeError as exc:
+            raise StoreIntegrityError(f"unparseable artifact {path}: {exc}") from exc
+        if artifact.get("key") != key:
+            raise StoreIntegrityError(
+                f"artifact {path} records key {artifact.get('key')!r}, expected {key}"
+            )
+        body = canonical_dumps(artifact.get("payload"))
+        digest = sha256_hex(body)
+        if digest != artifact.get("payload_sha256"):
+            raise StoreIntegrityError(
+                f"artifact {path} payload hash mismatch: "
+                f"recorded {artifact.get('payload_sha256')}, recomputed {digest}"
+            )
+        return artifact
+
+    def keys(self) -> List[str]:
+        """All stored keys, sorted (scanned from the objects directory)."""
+        if not self.objects_root.is_dir():
+            return []
+        found = []
+        for shard in sorted(self.objects_root.iterdir()):
+            if not shard.is_dir():
+                continue
+            for path in sorted(shard.glob("*.json")):
+                found.append(path.stem)
+        return found
+
+    def set_meta(
+        self,
+        key: str,
+        meta: Mapping[str, Any],
+        artifact: Optional[Dict[str, Any]] = None,
+    ) -> Dict[str, Any]:
+        """Durably replace an artifact's ``meta`` labels; returns its index entry.
+
+        The payload and its integrity hash are untouched, and nothing is
+        written at all when the labels already match — so a same-campaign
+        cache hit costs zero writes, while a cross-campaign claim rewrites
+        the artifact once (atomically) and then stays stable.  Pass the
+        already-verified ``artifact`` document to skip a re-read.  The index
+        is *not* updated here; callers batch entries via :meth:`index_add`.
+        """
+        if artifact is None:
+            artifact = self.get_artifact(key)
+        new_meta = dict(meta)
+        if artifact["meta"] != new_meta:
+            updated = dict(artifact)
+            updated["meta"] = new_meta
+            _atomic_write_text(self.object_path(key), dumps_deterministic(updated))
+        return {"sha256": artifact["payload_sha256"], "meta": new_meta}
+
+    def remove(self, key: str) -> bool:
+        """Delete one artifact (and its index entry); True when it existed."""
+        return self.remove_many([key]) == 1
+
+    def remove_many(self, keys: Iterable[str]) -> int:
+        """Delete several artifacts with a single index rewrite.
+
+        Returns how many artifact files actually existed.  This is the bulk
+        form campaign gc uses: per-key :meth:`remove` would re-read and
+        rewrite the whole index once per key.
+        """
+        entries = self._load_index()
+        index_changed = False
+        removed = 0
+        for key in keys:
+            path = self.object_path(key)
+            if path.exists():
+                path.unlink()
+                removed += 1
+                if path.parent.is_dir() and not any(path.parent.iterdir()):
+                    path.parent.rmdir()
+            if entries.pop(key, None) is not None:
+                index_changed = True
+        if index_changed:
+            self._write_index(entries)
+        return removed
+
+    def metas(self) -> Dict[str, Dict[str, Any]]:
+        """The ``meta`` labels of every stored key.
+
+        Served from the index where possible; keys the index does not cover
+        (e.g. batched writes interrupted before :meth:`index_add`) fall back
+        to reading their artifact, so the result always reflects the objects
+        on disk.
+        """
+        indexed = self._load_index()
+        metas: Dict[str, Dict[str, Any]] = {}
+        for key in self.keys():
+            entry = indexed.get(key)
+            if entry is not None and isinstance(entry.get("meta"), dict):
+                metas[key] = entry["meta"]
+                continue
+            try:
+                metas[key] = self.get_artifact(key)["meta"]
+            except StoreIntegrityError:
+                metas[key] = {}
+        return metas
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+
+    def gc(self, keep: Iterable[str], dry_run: bool = False) -> List[str]:
+        """Remove every artifact whose key is not in ``keep``.
+
+        Also sweeps leftover ``*.tmp.*`` files from interrupted writes and
+        prunes empty shard directories.  Returns the removed (or, with
+        ``dry_run``, removable) keys, sorted.
+        """
+        keep_set: Set[str] = {_validate_key(key) for key in keep}
+        removed: List[str] = []
+        if not self.objects_root.is_dir():
+            return removed
+        for shard in sorted(self.objects_root.iterdir()):
+            if not shard.is_dir():
+                continue
+            for path in sorted(shard.iterdir()):
+                if ".tmp." in path.name:
+                    if not dry_run:
+                        path.unlink()
+                    continue
+                key = path.stem
+                if key not in keep_set:
+                    removed.append(key)
+                    if not dry_run:
+                        path.unlink()
+            if not dry_run and not any(shard.iterdir()):
+                shard.rmdir()
+        if not dry_run:
+            self.reindex()
+        return removed
+
+    def reindex(self) -> Path:
+        """Rebuild ``index.json`` from the artifacts on disk."""
+        entries: Dict[str, Dict[str, Any]] = {}
+        for key in self.keys():
+            try:
+                artifact = self.get_artifact(key)
+            except StoreIntegrityError:
+                continue  # an unreadable artifact is not indexable
+            entries[key] = {"sha256": artifact["payload_sha256"], "meta": artifact["meta"]}
+        self._write_index(entries)
+        return self.index_path
+
+    # ------------------------------------------------------------------
+    # Index plumbing
+    # ------------------------------------------------------------------
+
+    def index_add(self, entries: Mapping[str, Dict[str, Any]]) -> None:
+        """Merge ``entries`` into the index with one read-modify-write.
+
+        The index is a convenience cache over the objects directory, not a
+        coordination point: concurrent writers can lose each other's entries
+        (last write wins), and :meth:`reindex` restores the full picture
+        from disk whenever that matters.
+        """
+        merged = self._load_index()
+        merged.update({key: dict(entry) for key, entry in entries.items()})
+        self._write_index(merged)
+
+    def _load_index(self) -> Dict[str, Dict[str, Any]]:
+        if not self.index_path.exists():
+            return {}
+        try:
+            document = json.loads(self.index_path.read_text())
+        except json.JSONDecodeError:
+            return {}  # stale/corrupt index is rebuilt lazily; objects are the truth
+        entries = document.get("entries")
+        return entries if isinstance(entries, dict) else {}
+
+    def _write_index(self, entries: Dict[str, Dict[str, Any]]) -> None:
+        document = {"schema": STORE_SCHEMA_VERSION, "entries": entries}
+        _atomic_write_text(self.index_path, dumps_deterministic(document))

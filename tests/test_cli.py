@@ -6,7 +6,8 @@ import json
 
 import pytest
 
-from repro.cli import SCALES, _config_from_args, _rows_table, _scaled_config, build_parser, main
+from repro.cli import SCALES, _config_from_args, _rows_table, build_parser, main
+from repro.experiments.config import scaled_config
 from repro.traffic.flowspec import PROTOCOL_MMPTCP, PROTOCOL_MPTCP
 
 
@@ -58,9 +59,9 @@ def test_run_rejects_unknown_protocol() -> None:
 
 
 def test_scaled_config_shapes() -> None:
-    quick = _scaled_config("quick", seed=1)
-    large = _scaled_config("large", seed=1)
-    paper = _scaled_config("paper", seed=1)
+    quick = scaled_config("quick", seed=1)
+    large = scaled_config("large", seed=1)
+    paper = scaled_config("paper", seed=1)
     assert quick.fattree_k == 4
     assert large.fattree_k == 8
     assert paper.fattree_k == 8 and paper.hosts_per_edge == 16

@@ -111,6 +111,32 @@ def test_progress_callback_fires_in_index_order() -> None:
     assert seen == [0, 1]
 
 
+def test_on_result_fires_once_per_point_with_matching_results() -> None:
+    """Serial: completion order is index order, results match the merge."""
+    specs = specs_from_configs([tiny_config(seed=seed) for seed in (3, 5)])
+    delivered = []
+    results = run_specs(
+        specs, workers=1,
+        on_result=lambda spec, result: delivered.append((spec.index, result)),
+    )
+    assert [index for index, _ in delivered] == [0, 1]
+    assert [result for _, result in delivered] == results
+
+
+def test_on_result_fires_for_every_point_on_a_process_pool() -> None:
+    """Pool: every point is delivered exactly once (any completion order),
+    and the returned list is still index-ordered and unperturbed."""
+    specs = specs_from_configs([tiny_config(seed=seed) for seed in (3, 5, 9)])
+    delivered = {}
+    results = run_specs(
+        specs, workers=3,
+        on_result=lambda spec, result: delivered.__setitem__(spec.index, result),
+    )
+    assert sorted(delivered) == [0, 1, 2]
+    assert [delivered[index] for index in (0, 1, 2)] == results
+    assert [result.config.seed for result in results] == [3, 5, 9]
+
+
 def test_execute_spec_without_factory_builds_default_workload() -> None:
     result = execute_spec(RunSpec(index=0, config=tiny_config()))
     assert result.workload_size > 0

@@ -13,9 +13,11 @@ from repro.metrics.export import (
     FLOW_RECORD_FIELDS,
     ascii_cdf,
     cdf_comparison_rows,
+    dumps_deterministic,
     flow_record_row,
     write_cdf_csv,
     write_flow_records_csv,
+    write_json,
     write_series_csv,
     write_summary_json,
 )
@@ -68,6 +70,37 @@ def test_write_summary_json_includes_extra_provenance(tmp_path) -> None:
     assert payload["seed"] == 7
     assert payload["short_flows"] == 1.0
     assert "short_fct_mean_ms" in payload
+
+
+def test_summary_dict_key_order_is_the_documented_contract() -> None:
+    """Regression: insertion order must equal SUMMARY_FIELDS exactly.
+
+    CSV headers, table rows and store artifacts derive their ordering from
+    this dict, so a silent reordering would change exported bytes.
+    """
+    metrics = ExperimentMetrics(flows=_records(), duration_s=1.0)
+    assert tuple(metrics.summary_dict().keys()) == ExperimentMetrics.SUMMARY_FIELDS
+
+
+def test_dumps_deterministic_policy() -> None:
+    text = dumps_deterministic({"b": 1, "a": 2.5}, indent=None)
+    assert text == '{"a": 2.5, "b": 1}\n'  # sorted keys, one trailing newline
+    # Equal payloads in different construction order serialise identically.
+    assert dumps_deterministic({"x": 1, "y": 2}) == dumps_deterministic({"y": 2, "x": 1})
+    # Floats use shortest round-trip repr; NaN has no portable form.
+    assert "100000000.0" in dumps_deterministic([1e8])
+    with pytest.raises(ValueError):
+        dumps_deterministic({"bad": float("nan")})
+
+
+def test_write_json_and_summary_json_are_byte_stable(tmp_path) -> None:
+    metrics = ExperimentMetrics(flows=_records(), duration_s=1.0)
+    first = write_summary_json(metrics, tmp_path / "first.json", extra={"seed": 7})
+    second = write_summary_json(metrics, tmp_path / "second.json", extra={"seed": 7})
+    assert first.read_bytes() == second.read_bytes()
+    assert first.read_text().endswith("}\n")
+    path = write_json({"b": [1, 2], "a": True}, tmp_path / "doc.json")
+    assert path.read_text() == '{\n  "a": true,\n  "b": [\n    1,\n    2\n  ]\n}\n'
 
 
 def test_write_series_csv_preserves_column_order(tmp_path) -> None:

@@ -163,10 +163,13 @@ def test_matrix_rows_shape_and_report_table() -> None:
     )
     rows = matrix_rows(cells)
     assert len(rows) == 4
+    # Regression: key order is insertion-stable and part of the public
+    # contract — CSV headers and store-backed reports derive from it.
+    from repro.scenarios.runner import CELL_METRIC_FIELDS
+
+    expected_order = ("scenario", "protocol", "faults") + CELL_METRIC_FIELDS
     for row in rows:
-        for key in ("scenario", "protocol", "faults", "completion_rate",
-                    "mean_fct_ms", "p99_fct_ms", "retransmits", "long_tput_mbps"):
-            assert key in row
+        assert tuple(row.keys()) == expected_order
     markdown = scenario_matrix_markdown(rows, baseline_protocol=PROTOCOL_TCP)
     assert "core-link-failure" in markdown
     assert "ΔFCT vs tcp" in markdown
