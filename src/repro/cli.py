@@ -70,6 +70,8 @@ from repro.scenarios import (
 )
 from repro.sim.units import megabits_per_second
 from repro.traffic.flowspec import ALL_PROTOCOLS, PROTOCOL_MMPTCP, PROTOCOL_MPTCP
+from repro.transport.path_manager import path_manager_names
+from repro.transport.scheduler import scheduler_names
 
 #: The scenario and campaign commands additionally accept the matrix-friendly
 #: tiny scale (same tuple as the campaign layer's).
@@ -99,7 +101,18 @@ def _config_from_args(args: argparse.Namespace) -> ExperimentConfig:
         overrides["queue_kind"] = args.queue
     if args.switching is not None:
         overrides["switching_policy"] = args.switching
+    overrides.update(_transport_matrix_overrides(args))
     return config.with_updates(**overrides)
+
+
+def _transport_matrix_overrides(args: argparse.Namespace) -> Dict[str, str]:
+    """The scheduler/path-manager overrides shared by run and scenario commands."""
+    overrides: Dict[str, str] = {}
+    if getattr(args, "scheduler", None) is not None:
+        overrides["scheduler"] = args.scheduler
+    if getattr(args, "path_manager", None) is not None:
+        overrides["path_manager"] = args.path_manager
+    return overrides
 
 
 def _print_summary(result: ExperimentResult) -> None:
@@ -305,6 +318,7 @@ def _cmd_scenarios_list(args: argparse.Namespace) -> int:
 
 def _cmd_scenarios_run(args: argparse.Namespace) -> int:
     base = _scenario_scaled_config(args.scale, args.seed)
+    base = base.with_updates(**_transport_matrix_overrides(args))
     try:
         cell = run_scenario(args.name, base_config=base, protocol=args.protocol)
     except KeyError as exc:
@@ -322,6 +336,7 @@ def _cmd_scenarios_run(args: argparse.Namespace) -> int:
 
 def _cmd_scenarios_matrix(args: argparse.Namespace) -> int:
     base = _scenario_scaled_config(args.scale, args.seed)
+    base = base.with_updates(**_transport_matrix_overrides(args))
     runner = ScenarioMatrixRunner(base, workers=args.workers)
     try:
         cells = runner.run(scenarios=tuple(args.scenarios), protocols=tuple(args.transports))
@@ -352,6 +367,14 @@ def _campaign_spec_from_args(args: argparse.Namespace) -> CampaignSpec:
     """The campaign spec: from ``--spec FILE`` when given, else from flags."""
     if args.spec:
         return CampaignSpec.from_file(args.spec)
+    # Scheduler / path-manager lists become ordinary sweep axes; omitting a
+    # flag adds no axis, so cell labels and cache keys of existing campaigns
+    # are untouched.
+    sweeps = []
+    if getattr(args, "schedulers", None):
+        sweeps.append(("scheduler", tuple(args.schedulers)))
+    if getattr(args, "path_managers", None):
+        sweeps.append(("path_manager", tuple(args.path_managers)))
     return CampaignSpec(
         name=args.name,
         scenarios=tuple(args.scenarios),
@@ -359,6 +382,7 @@ def _campaign_spec_from_args(args: argparse.Namespace) -> CampaignSpec:
         replications=args.replications,
         scale=args.scale,
         seed=args.seed,
+        sweeps=tuple(sweeps),
     )
 
 
@@ -480,6 +504,14 @@ def _cmd_campaign_gc(args: argparse.Namespace) -> int:
 _workers_count = workers_argument_type
 
 
+def _add_transport_matrix_arguments(parser: argparse.ArgumentParser) -> None:
+    """``--scheduler`` / ``--path-manager`` knobs (None = config default)."""
+    parser.add_argument("--scheduler", choices=scheduler_names(), default=None,
+                        help="MPTCP chunk scheduler (default: fcfs)")
+    parser.add_argument("--path-manager", choices=path_manager_names(), default=None,
+                        help="MPTCP subflow creation policy (default: ndiffports)")
+
+
 def _add_common_arguments(parser: argparse.ArgumentParser, workers: bool = False) -> None:
     parser.add_argument("--scale", choices=SCALES, default="quick",
                         help="experiment scale (quick/large/paper)")
@@ -517,6 +549,7 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--switching",
                             choices=("data_volume", "congestion_event", "hybrid", "never"),
                             default=None)
+    _add_transport_matrix_arguments(run_parser)
     run_parser.set_defaults(handler=_cmd_run)
 
     fig1a = subparsers.add_parser("figure1a", help="regenerate Figure 1(a)")
@@ -591,6 +624,7 @@ def build_parser() -> argparse.ArgumentParser:
         sub.add_argument("--seed", type=int, default=20150817, help="random seed")
         sub.add_argument("--export-dir", default=None,
                          help="directory for CSV/JSON exports (omit to skip)")
+        _add_transport_matrix_arguments(sub)
         if workers:
             sub.add_argument("--workers", type=_workers_count, default=1,
                              help="process-pool size (1 = serial, 0 = one per "
@@ -634,6 +668,13 @@ def build_parser() -> argparse.ArgumentParser:
         sub.add_argument("--scale", choices=SCENARIO_SCALES, default="tiny",
                          help="experiment scale (tiny/quick/large/paper)")
         sub.add_argument("--seed", type=int, default=20150817, help="campaign root seed")
+        sub.add_argument("--schedulers", nargs="+", choices=scheduler_names(), default=None,
+                         help="sweep axis over MPTCP chunk schedulers (omit for "
+                              "the config default, fcfs)")
+        sub.add_argument("--path-managers", nargs="+", choices=path_manager_names(),
+                         default=None,
+                         help="sweep axis over MPTCP path managers (omit for "
+                              "the config default, ndiffports)")
         sub.add_argument("--baseline-protocol", default="tcp", choices=ALL_PROTOCOLS,
                          help="protocol the report's delta table compares against")
 

@@ -28,6 +28,7 @@ from repro.sim.engine import Simulator
 from repro.sim.tracing import NULL_SINK, TraceSink
 from repro.transport.base import TcpConfig
 from repro.transport.mptcp import MptcpConnection, MptcpReceiver, MptcpSubflow
+from repro.transport.path_manager import PathManager
 from repro.transport.scheduler import SubflowScheduler
 from repro.transport.tcp import TcpSender
 
@@ -61,6 +62,7 @@ class MmptcpConnection(MptcpConnection):
         scatter_port_range: Tuple[int, int] = DEFAULT_SCATTER_PORT_RANGE,
         rng: Optional[random.Random] = None,
         scheduler: Optional[SubflowScheduler] = None,
+        path_manager: Optional[PathManager] = None,
         on_complete: Optional[Callable[["MptcpConnection"], None]] = None,
         on_phase_switch: Optional[Callable[["MmptcpConnection"], None]] = None,
         trace: TraceSink = NULL_SINK,
@@ -75,6 +77,7 @@ class MmptcpConnection(MptcpConnection):
             flow_id=flow_id,
             config=config,
             scheduler=scheduler,
+            path_manager=path_manager,
             on_complete=on_complete,
             trace=trace,
             create_subflows=False,
@@ -128,6 +131,17 @@ class MmptcpConnection(MptcpConnection):
         if self.phase == PHASE_MPTCP and subflow is self.scatter_subflow:
             return None
         return super().allocate_chunk(subflow)
+
+    def _has_data_for(self, subflow: MptcpSubflow) -> bool:
+        """The deactivated scatter flow is no longer a scheduling candidate.
+
+        Keeping it out of the candidate list matters for policy schedulers:
+        a round-robin rotation (or an RTT ranking) must not keep offering
+        turns to a subflow that :meth:`allocate_chunk` will always refuse.
+        """
+        if self.phase == PHASE_MPTCP and subflow is self.scatter_subflow:
+            return False
+        return super()._has_data_for(subflow)
 
     def _on_data_allocated(self, subflow: MptcpSubflow, dsn: int, size: int) -> None:
         if self.phase != PHASE_PACKET_SCATTER:

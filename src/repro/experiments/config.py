@@ -28,6 +28,8 @@ from repro.sim.units import (
     milliseconds,
 )
 from repro.traffic.flowspec import PROTOCOL_MMPTCP, PROTOCOL_MPTCP, PROTOCOL_TCP
+from repro.transport.path_manager import PATH_MANAGERS
+from repro.transport.scheduler import SCHEDULERS
 
 TOPOLOGY_FATTREE = "fattree"
 TOPOLOGY_DUALHOMED = "dualhomed"
@@ -85,6 +87,12 @@ class ExperimentConfig:
     switching_threshold_bytes: int = 100 * 1400
     reordering_policy: str = REORDERING_TOPOLOGY
     adaptive_reordering_increment: int = 2
+    #: MPTCP chunk scheduler (see :data:`repro.transport.scheduler.SCHEDULERS`);
+    #: ``fcfs`` is the historical demand-driven allocation.
+    scheduler: str = "fcfs"
+    #: MPTCP subflow creation policy (see
+    #: :data:`repro.transport.path_manager.PATH_MANAGERS`).
+    path_manager: str = "ndiffports"
 
     # Faults ---------------------------------------------------------------
     #: Timed link failures / degradations applied to the fabric during the
@@ -112,6 +120,16 @@ class ExperimentConfig:
             raise ValueError(f"unknown topology {self.topology!r}")
         if self.core_oversubscription <= 0:
             raise ValueError("core_oversubscription must be positive")
+        if self.scheduler not in SCHEDULERS:
+            raise ValueError(
+                f"unknown scheduler {self.scheduler!r}; expected one of "
+                f"{tuple(sorted(SCHEDULERS))}"
+            )
+        if self.path_manager not in PATH_MANAGERS:
+            raise ValueError(
+                f"unknown path manager {self.path_manager!r}; expected one of "
+                f"{tuple(sorted(PATH_MANAGERS))}"
+            )
         if not isinstance(self.fault_schedule, tuple):
             # Lists pickle fine but break hashing/equality of the frozen
             # config; normalise early with a clear message instead.

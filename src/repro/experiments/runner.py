@@ -68,7 +68,9 @@ from repro.transport.base import TcpConfig
 from repro.transport.d2tcp import D2tcpReceiver, D2tcpSender
 from repro.transport.dctcp import DctcpReceiver, DctcpSender
 from repro.transport.mptcp import MptcpConnection, MptcpReceiver
+from repro.transport.path_manager import make_path_manager
 from repro.transport.receiver import TcpReceiver
+from repro.transport.scheduler import make_scheduler
 from repro.transport.tcp import TcpSender
 
 
@@ -272,6 +274,8 @@ def create_flow(
         sender = MptcpConnection(
             simulator, source, destination.address, port, spec.size_bytes,
             num_subflows=spec.num_subflows, flow_id=spec.flow_id, config=tcp_config,
+            scheduler=make_scheduler(config.scheduler),
+            path_manager=make_path_manager(config.path_manager),
         )
         return _FlowInstance(spec, sender, receiver)
 
@@ -288,6 +292,8 @@ def create_flow(
                 simulator, source, destination.address, port, spec.size_bytes,
                 flow_id=spec.flow_id, config=tcp_config,
                 reordering_policy=reordering, rng=rng,
+                scheduler=make_scheduler(config.scheduler),
+                path_manager=make_path_manager(config.path_manager),
             )
         else:
             sender = MmptcpConnection(
@@ -295,6 +301,8 @@ def create_flow(
                 num_subflows=spec.num_subflows, flow_id=spec.flow_id, config=tcp_config,
                 switching_policy=make_switching_policy(config),
                 reordering_policy=reordering, path_count_hint=path_count, rng=rng,
+                scheduler=make_scheduler(config.scheduler),
+                path_manager=make_path_manager(config.path_manager),
             )
         return _FlowInstance(spec, sender, receiver)
 

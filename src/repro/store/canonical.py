@@ -34,7 +34,10 @@ from typing import Any, Mapping, Optional, Sequence
 #: way that invalidates previously stored results.  The version participates
 #: in every cache key, so a bump makes every old entry a clean miss instead
 #: of a wrong hit.
-STORE_SCHEMA_VERSION = 1
+#: v2: ExperimentConfig grew ``scheduler`` / ``path_manager`` fields (and the
+#: previously dead scheduler now influences results, so v1 artifacts no
+#: longer describe what a re-run would produce).
+STORE_SCHEMA_VERSION = 2
 
 
 def to_jsonable(value: Any, _path: str = "$") -> Any:

@@ -103,6 +103,13 @@ CompletionCallback = Callable[["Endpoint"], None]
 class Endpoint:
     """Base class for anything bound to a host port that sends/receives packets."""
 
+    #: Interface index this endpoint's packets leave through, or ``None`` for
+    #: the host's normal uplink selection (flow-hash ECMP when multi-homed).
+    #: Set by path managers that pin subflows to interfaces (``fullmesh``);
+    #: a class attribute so the unpinned common case costs one dict miss,
+    #: not per-instance storage.
+    egress_interface: Optional[int] = None
+
     def __init__(
         self,
         simulator: Simulator,
@@ -136,7 +143,9 @@ class Endpoint:
         locally dropped; callers should fold that into their loss accounting
         (see :attr:`SenderStats.send_fault_drops`).
         """
-        return self.host.send(packet)
+        if self.egress_interface is None:
+            return self.host.send(packet)
+        return self.host.send_via(packet, self.egress_interface)
 
     @property
     def address(self) -> int:

@@ -25,8 +25,9 @@ from repro.sim.engine import Simulator
 from repro.sim.tracing import NULL_SINK, TraceSink
 from repro.transport.base import Endpoint, SenderStats, TcpConfig
 from repro.transport.cc.lia import LiaController
+from repro.transport.path_manager import NdiffportsPathManager, PathManager
 from repro.transport.receiver import TcpReceiver
-from repro.transport.scheduler import RoundRobinScheduler, SubflowScheduler
+from repro.transport.scheduler import FcfsScheduler, SubflowScheduler
 from repro.transport.sequence import ReceiveBuffer
 from repro.transport.tcp import CongestionEventCallback, TcpSender
 
@@ -77,17 +78,19 @@ class MptcpSubflow(TcpSender):
 
     def _refill(self) -> None:
         """Pull data from the connection while the window has room for more."""
-        while (
-            not self.connection.all_data_allocated
-            and self.established
-            and self.snd_una + self.cwnd > self.total_bytes
-        ):
-            chunk = self.connection.allocate_chunk(self)
-            if chunk is None:
-                break
-            dsn, size = chunk
-            self._segments[self.total_bytes] = (dsn, size)
-            self.total_bytes += size
+        self.connection._refill_subflow(self)
+
+    def send_available(self) -> None:
+        """Send what this subflow may, then let the scheduler place the rest.
+
+        Every window-opening event (handshake completion, new ACK, dup-ACK
+        inflation, recovery, RTO) funnels through here, so running the
+        connection's pump afterwards guarantees a policy scheduler sees
+        every send opportunity — the chunk this subflow was refused may now
+        belong on a preferred sibling.
+        """
+        super().send_available()
+        self.connection._pump_scheduler()
 
     def _payload_at(self, seq: int) -> int:
         segment = self._segments.get(seq)
@@ -98,7 +101,7 @@ class MptcpSubflow(TcpSender):
         return segment[0] if segment is not None else seq
 
     def _all_data_allocated(self) -> bool:
-        return self.connection.all_data_allocated
+        return self.connection._subflow_done_allocating(self)
 
     def _process_dack(self, packet: Packet) -> None:
         self.connection.on_dack(packet.dack)
@@ -137,6 +140,7 @@ class MptcpConnection:
         flow_id: int = 0,
         config: TcpConfig = TcpConfig(),
         scheduler: Optional[SubflowScheduler] = None,
+        path_manager: Optional[PathManager] = None,
         on_complete: Optional[ConnectionCallback] = None,
         trace: TraceSink = NULL_SINK,
         create_subflows: bool = True,
@@ -153,7 +157,10 @@ class MptcpConnection:
         self.num_subflows = num_subflows
         self.flow_id = flow_id
         self.config = config
-        self.scheduler = scheduler if scheduler is not None else RoundRobinScheduler()
+        self.scheduler = scheduler if scheduler is not None else FcfsScheduler()
+        self.path_manager = (
+            path_manager if path_manager is not None else NdiffportsPathManager()
+        )
         self.on_complete = on_complete
         self.trace = trace
 
@@ -165,6 +172,11 @@ class MptcpConnection:
         self.start_time: Optional[float] = None
         self.completion_time: Optional[float] = None
         self.congestion_events: List[Tuple[float, int, str]] = []
+        #: Re-entrancy guard for the scheduler pump (send_available recurses
+        #: through it).
+        self._pumping = False
+        #: Per-subflow stream cursors for duplicating schedulers (redundant).
+        self._redundant_cursors: Dict[int, int] = {}
 
         if create_subflows:
             self._create_subflows(num_subflows, first_subflow_id=0)
@@ -174,11 +186,8 @@ class MptcpConnection:
     # ------------------------------------------------------------------
 
     def _create_subflows(self, count: int, first_subflow_id: int) -> List[MptcpSubflow]:
-        created = []
-        for offset in range(count):
-            subflow = self._make_subflow(first_subflow_id + offset)
-            self.subflows.append(subflow)
-            created.append(subflow)
+        created = self.path_manager.create_subflows(self, count, first_subflow_id)
+        self.subflows.extend(created)
         return created
 
     def _make_subflow(self, subflow_id: int) -> MptcpSubflow:
@@ -224,6 +233,8 @@ class MptcpConnection:
 
     def allocate_chunk(self, subflow: MptcpSubflow) -> Optional[Tuple[int, int]]:
         """Assign the next chunk (at most one MSS) of the stream to ``subflow``."""
+        if self.scheduler.duplicates:
+            return self._allocate_duplicate_chunk(subflow)
         if self.all_data_allocated:
             return None
         size = min(self.config.mss, self.total_bytes - self._next_dsn)
@@ -232,8 +243,134 @@ class MptcpConnection:
         self._on_data_allocated(subflow, dsn, size)
         return dsn, size
 
+    def _allocate_duplicate_chunk(self, subflow: MptcpSubflow) -> Optional[Tuple[int, int]]:
+        """Advance ``subflow``'s private cursor over the not-yet-acked stream.
+
+        Under a duplicating scheduler every subflow walks the whole stream
+        itself; the cursor starts at (or jumps forward to) the data-level
+        acknowledgement point so already-delivered bytes are never
+        re-duplicated, which keeps the redundancy bounded to data actually
+        at risk.
+        """
+        cursor = max(self._redundant_cursors.get(subflow.subflow_id, 0), self.data_acked)
+        if cursor >= self.total_bytes:
+            return None
+        size = min(self.config.mss, self.total_bytes - cursor)
+        self._redundant_cursors[subflow.subflow_id] = cursor + size
+        # The shared frontier tracks the furthest cursor so that
+        # ``all_data_allocated`` (phase switching, completion bookkeeping)
+        # keeps meaning "every byte has been mapped at least once".
+        self._next_dsn = max(self._next_dsn, cursor + size)
+        self._on_data_allocated(subflow, cursor, size)
+        return cursor, size
+
     def _on_data_allocated(self, subflow: MptcpSubflow, dsn: int, size: int) -> None:
         """Hook for subclasses (MMPTCP's data-volume switching observes this)."""
+
+    # ------------------------------------------------------------------
+    # Scheduler dispatch
+    # ------------------------------------------------------------------
+
+    def _has_data_for(self, subflow: MptcpSubflow) -> bool:
+        """True while the connection still has stream bytes for ``subflow``.
+
+        MMPTCP overrides this to exclude the scatter subflow after the phase
+        switch; duplicating schedulers track per-subflow cursors instead of
+        the shared frontier.
+        """
+        if self.scheduler.duplicates:
+            cursor = max(
+                self._redundant_cursors.get(subflow.subflow_id, 0), self.data_acked
+            )
+            return cursor < self.total_bytes
+        return not self.all_data_allocated
+
+    def _subflow_done_allocating(self, subflow: MptcpSubflow) -> bool:
+        """True when ``subflow`` will never be assigned another chunk."""
+        if self.scheduler.duplicates:
+            return not self._has_data_for(subflow)
+        return self.all_data_allocated
+
+    def _candidates(self) -> List[MptcpSubflow]:
+        """Subflows the scheduler may currently choose between.
+
+        List order is ascending ``subflow_id`` (creation order), which is
+        the deterministic tie-break every scheduler inherits.
+        """
+        return [
+            subflow
+            for subflow in self.subflows
+            if subflow.established and not subflow.complete and self._has_data_for(subflow)
+        ]
+
+    def _scheduler_grants(self, subflow: MptcpSubflow) -> bool:
+        """May ``subflow`` take the next chunk right now?
+
+        Demand-driven schedulers always grant.  Policy schedulers are
+        *strict*: only their single most preferred candidate may map the
+        next chunk, even while that candidate's window is full — allocation
+        is irrevocable (no reinjection), so a chunk must never spill onto a
+        less preferred path just because the preferred one cannot take it
+        this instant.  (A "grant whenever every better candidate is full"
+        rule degenerates to FCFS under ACK clocking: at the moment any
+        subflow demands, its better-placed siblings are almost always
+        window-full, so every demand would be granted and the scheduler
+        would never influence placement.)  Liveness is the pump's job: the
+        preferred candidate is full only while it has data in flight, so a
+        future ACK or RTO always re-opens it.
+        """
+        if self.scheduler.demand_driven:
+            return True
+        order = self.scheduler.order(self._candidates())
+        return bool(order) and order[0] is subflow
+
+    def _refill_subflow(self, subflow: MptcpSubflow) -> None:
+        """Serve ``subflow``'s demand for chunks, subject to the scheduler."""
+        while (
+            subflow.established
+            and subflow.snd_una + subflow.cwnd > subflow.total_bytes
+            and self._has_data_for(subflow)
+        ):
+            if not self._scheduler_grants(subflow):
+                break
+            chunk = self.allocate_chunk(subflow)
+            if chunk is None:
+                break
+            dsn, size = chunk
+            subflow._segments[subflow.total_bytes] = (dsn, size)
+            subflow.total_bytes += size
+            self.scheduler.chunk_assigned(subflow, self.subflows)
+
+    def _pump_scheduler(self) -> None:
+        """Offer withheld chunks to the scheduler's preferred subflow.
+
+        After any subflow's send opportunity, the scheduler's head may be a
+        *different* subflow that has no event of its own pending (no data
+        in flight because it was refused earlier).  Pumping the head here
+        is what makes the strict policy live.  Each iteration re-consults
+        ``order()`` — consuming a chunk can rotate a round-robin pointer or
+        (eventually) shift an RTT estimate — and stops as soon as the head
+        has no window room or fails to map a chunk, so the loop terminates
+        (allocation is finite and monotone); demand-driven schedulers never
+        pump.
+        """
+        if self.scheduler.demand_driven or self._pumping or self.complete:
+            return
+        self._pumping = True
+        try:
+            while True:
+                order = self.scheduler.order(self._candidates())
+                if not order:
+                    break
+                head = order[0]
+                if not (head.snd_una + head.cwnd > head.total_bytes):
+                    break
+                before = head.total_bytes
+                head.send_available()
+                if head.total_bytes == before:
+                    break
+        finally:
+            self._pumping = False
 
     # ------------------------------------------------------------------
     # Completion
@@ -263,6 +400,14 @@ class MptcpConnection:
         total = SenderStats()
         total.start_time = self.start_time if self.start_time is not None else 0.0
         total.completion_time = self.completion_time
+        # The connection is established as soon as its first subflow is —
+        # that earliest handshake is when data can start flowing.
+        established = [
+            subflow.stats.established_time
+            for subflow in self.subflows
+            if subflow.stats.established_time is not None
+        ]
+        total.established_time = min(established) if established else None
         for subflow in self.subflows:
             stats = subflow.stats
             total.packets_sent += stats.packets_sent

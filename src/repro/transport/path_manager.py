@@ -1,0 +1,106 @@
+"""MPTCP path managers: policies that decide which subflows a connection opens.
+
+Linux MPTCP separates *what data goes where* (the scheduler) from *which
+subflows exist at all* (the path manager).  This module provides the same
+split for the simulator:
+
+* ``ndiffports`` — the historical behaviour: N subflows between the same
+  address pair, distinguished only by source port, so hash-based ECMP
+  spreads them over the fabric's equal-cost paths.
+* ``fullmesh`` — one subflow per *local interface*, each pinned to that
+  interface as its egress, meshing the host's local addresses against the
+  peer (dual-homed topologies get one subflow per uplink; a single-homed
+  host degenerates to one subflow).
+
+Path managers are registered by name in :data:`PATH_MANAGERS` and built with
+:func:`make_path_manager`; the names are what ``ExperimentConfig.path_manager``
+and the CLI accept.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Type
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.transport.mptcp import MptcpConnection, MptcpSubflow
+
+
+class PathManager:
+    """Base class: owns subflow creation for an MPTCP connection."""
+
+    name = "base"
+
+    def create_subflows(
+        self, connection: "MptcpConnection", count: int, first_subflow_id: int
+    ) -> List["MptcpSubflow"]:
+        """Build (but do not start) the subflows for one creation request.
+
+        Called once at connection construction and, for MMPTCP, again at the
+        phase switch.  ``count`` is the connection's configured subflow
+        count; a path manager may reinterpret it (``fullmesh`` derives the
+        count from the host's interfaces instead).
+        """
+        raise NotImplementedError
+
+
+class NdiffportsPathManager(PathManager):
+    """``count`` subflows over distinct source ports (the historical default)."""
+
+    name = "ndiffports"
+
+    def create_subflows(
+        self, connection: "MptcpConnection", count: int, first_subflow_id: int
+    ) -> List["MptcpSubflow"]:
+        return [
+            connection._make_subflow(first_subflow_id + offset) for offset in range(count)
+        ]
+
+
+class FullMeshPathManager(PathManager):
+    """One subflow per local interface, pinned to that interface as egress.
+
+    The configured subflow count is ignored: the mesh of local addresses
+    against the (single) peer address determines the subflow population,
+    exactly as Linux's fullmesh path manager derives it from the routing
+    table.  On a dual-homed FatTree every host contributes two pinned
+    subflows; on single-homed fabrics the connection degenerates to one.
+    """
+
+    name = "fullmesh"
+
+    def create_subflows(
+        self, connection: "MptcpConnection", count: int, first_subflow_id: int
+    ) -> List["MptcpSubflow"]:
+        interfaces = connection.host.interfaces
+        if not interfaces:
+            raise RuntimeError(
+                f"host {connection.host.name} has no interfaces to mesh over"
+            )
+        subflows = []
+        for index in range(len(interfaces)):
+            subflow = connection._make_subflow(first_subflow_id + index)
+            subflow.egress_interface = index
+            subflows.append(subflow)
+        return subflows
+
+
+#: Registry of path-manager names accepted by ``ExperimentConfig.path_manager``.
+PATH_MANAGERS: Dict[str, Type[PathManager]] = {
+    NdiffportsPathManager.name: NdiffportsPathManager,
+    FullMeshPathManager.name: FullMeshPathManager,
+}
+
+
+def path_manager_names() -> tuple:
+    """The canonical path-manager names, sorted (for CLI choices and docs)."""
+    return tuple(sorted(PATH_MANAGERS))
+
+
+def make_path_manager(name: str) -> PathManager:
+    """Build a fresh path manager instance by name."""
+    try:
+        return PATH_MANAGERS[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown path manager {name!r}; expected one of {path_manager_names()}"
+        ) from None

@@ -165,3 +165,58 @@ def test_main_scenarios_matrix_executes_and_exports(tmp_path, capsys) -> None:
     assert "Scenario matrix" in output
     assert "ΔFCT vs tcp" in output  # the per-scenario delta report
     assert (tmp_path / "scenario_matrix.csv").exists()
+
+
+# ---------------------------------------------------------------------------
+# Transport matrix flags (scheduler / path manager)
+# ---------------------------------------------------------------------------
+
+
+def test_run_scheduler_and_path_manager_flags_reach_the_config() -> None:
+    args = build_parser().parse_args(
+        ["run", "--scheduler", "lowest_rtt", "--path-manager", "fullmesh"])
+    config = _config_from_args(args)
+    assert config.scheduler == "lowest_rtt"
+    assert config.path_manager == "fullmesh"
+
+
+def test_run_without_transport_matrix_flags_keeps_defaults() -> None:
+    config = _config_from_args(build_parser().parse_args(["run"]))
+    assert config.scheduler == "fcfs"
+    assert config.path_manager == "ndiffports"
+
+
+def test_run_rejects_unknown_scheduler_name() -> None:
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["run", "--scheduler", "blest"])
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["run", "--path-manager", "binder"])
+
+
+def test_scenarios_accept_transport_matrix_flags() -> None:
+    matrix = build_parser().parse_args(
+        ["scenarios", "matrix", "--scheduler", "round_robin"])
+    assert matrix.scheduler == "round_robin"
+    run = build_parser().parse_args(
+        ["scenarios", "run", "baseline", "--path-manager", "fullmesh"])
+    assert run.path_manager == "fullmesh"
+
+
+def test_campaign_scheduler_lists_become_sweep_axes() -> None:
+    from repro.cli import _campaign_spec_from_args
+
+    args = build_parser().parse_args([
+        "campaign", "run", "--store", "unused",
+        "--schedulers", "fcfs", "round_robin",
+        "--path-managers", "ndiffports",
+    ])
+    spec = _campaign_spec_from_args(args)
+    assert ("scheduler", ("fcfs", "round_robin")) in spec.sweeps
+    assert ("path_manager", ("ndiffports",)) in spec.sweeps
+
+
+def test_campaign_without_scheduler_flags_adds_no_axes() -> None:
+    from repro.cli import _campaign_spec_from_args
+
+    args = build_parser().parse_args(["campaign", "run", "--store", "unused"])
+    assert _campaign_spec_from_args(args).sweeps == ()

@@ -27,7 +27,7 @@ from repro.store import run_key, run_key_for_spec, workload_recipe
 #: The default tiny config's key, pinned.  If this changes, every existing
 #: store silently turns into a full miss — bump STORE_SCHEMA_VERSION when
 #: changing key derivation deliberately, and regenerate this literal.
-_TINY_CONFIG_KEY = "4fc996e3fa1b07eda9a00d07dd9f4f551aaaf899da445e1f6addbd8e14c535f8"
+_TINY_CONFIG_KEY = "1f3266681ae811b1f3190d5356622eb79b8e4dd383645123a9feaf8d20264da9"
 
 #: One valid alternate value per ExperimentConfig field.  The completeness
 #: test below fails when a new config field is added without extending this
@@ -63,6 +63,8 @@ _FIELD_CHANGES = {
     "switching_threshold_bytes": 1000,
     "reordering_policy": "static",
     "adaptive_reordering_increment": 3,
+    "scheduler": "round_robin",
+    "path_manager": "fullmesh",
     "fault_schedule": (link_failure(0.1, "core-0", "agg-0-0"),),
     "seed": 2,
     "max_events": 100,

@@ -6,27 +6,44 @@ import pytest
 
 from repro.net.queues import DropTailQueue
 from repro.sim.engine import Simulator
-from repro.sim.units import megabits_per_second
+from repro.sim.units import megabits_per_second, microseconds, milliseconds
+from repro.topology.dualhomed import DualHomedFatTreeTopology
+from repro.topology.fattree import FatTreeParams
 from repro.topology.simple import TwoHostTopology, TwoPathTopology
 from repro.transport.base import TcpConfig
 from repro.transport.cc.lia import LiaController
 from repro.transport.mptcp import MptcpConnection, MptcpReceiver
-from repro.transport.scheduler import LowestRttScheduler, RoundRobinScheduler
+from repro.transport.path_manager import make_path_manager
+from repro.transport.scheduler import (
+    LowestRttScheduler,
+    RoundRobinScheduler,
+    make_scheduler,
+)
 
 TEST_CONFIG = TcpConfig(mss=1000, initial_cwnd_segments=2)
 
+#: Per-path one-way hop delays for the asymmetric two-path fabric: path 0 is
+#: an order of magnitude shorter than path 1 (and later paths), so an
+#: RTT-aware scheduler has a clear favourite.
+ASYMMETRIC_DELAYS = (microseconds(50), milliseconds(2), milliseconds(4), milliseconds(8))
+
 
 def _run_mptcp(size: int, subflows: int, paths: int = 4, queue_packets: int = 100,
-               until: float = 30.0):
+               until: float = 30.0, scheduler: str | None = None,
+               asymmetric: bool = False):
     simulator = Simulator()
     topology = TwoPathTopology(
         simulator, paths=paths,
+        path_delays=ASYMMETRIC_DELAYS[:paths] if asymmetric else None,
         queue_factory=lambda: DropTailQueue(capacity_packets=queue_packets),
     )
     receiver = MptcpReceiver(simulator, topology.receiver, local_port=5001,
                              expected_bytes=size)
-    connection = MptcpConnection(simulator, topology.sender, topology.receiver.address, 5001,
-                                 size, num_subflows=subflows, config=TEST_CONFIG)
+    connection = MptcpConnection(
+        simulator, topology.sender, topology.receiver.address, 5001,
+        size, num_subflows=subflows, config=TEST_CONFIG,
+        scheduler=make_scheduler(scheduler) if scheduler is not None else None,
+    )
     connection.start()
     simulator.run(until=until)
     return connection, receiver, topology
@@ -39,8 +56,9 @@ class TestBasicOperation:
         assert receiver.complete
         assert receiver.bytes_received_in_order == 300_000
 
-    def test_every_byte_allocated_exactly_once(self) -> None:
-        connection, receiver, _ = _run_mptcp(100_000, subflows=3)
+    @pytest.mark.parametrize("scheduler", ["fcfs", "round_robin", "lowest_rtt"])
+    def test_every_byte_allocated_exactly_once(self, scheduler: str) -> None:
+        connection, receiver, _ = _run_mptcp(100_000, subflows=3, scheduler=scheduler)
         allocated = sum(subflow.allocated_bytes for subflow in connection.subflows)
         assert allocated == 100_000
         # DSN ranges must tile the stream without overlap.
@@ -143,15 +161,11 @@ class TestLiaCoupling:
         assert controller._coupled_alpha() > 0.0
 
 
-class TestSchedulers:
-    def test_round_robin_rotates(self) -> None:
-        scheduler = RoundRobinScheduler()
-        items = ["a", "b", "c"]
-        first = scheduler.order(items)
-        second = scheduler.order(items)
-        assert sorted(first) == items
-        assert first != second
+def _allocations(connection) -> tuple:
+    return tuple(subflow.allocated_bytes for subflow in connection.subflows)
 
+
+class TestSchedulers:
     def test_lowest_rtt_prefers_fast_subflow(self) -> None:
         connection, _, _ = _run_mptcp(50_000, subflows=2)
         fast, slow = connection.subflows
@@ -162,6 +176,130 @@ class TestSchedulers:
 
     def test_round_robin_empty_input(self) -> None:
         assert RoundRobinScheduler().order([]) == []
+
+    def test_scheduler_choice_changes_allocation_on_asymmetric_paths(self) -> None:
+        # The dead-scheduler regression test: with the scheduler actually
+        # wired into allocation, round_robin and lowest_rtt must place the
+        # stream differently (and differently from the FCFS default).
+        by_scheduler = {}
+        for name in ("fcfs", "round_robin", "lowest_rtt"):
+            connection, receiver, _ = _run_mptcp(
+                120_000, subflows=3, paths=3, asymmetric=True, scheduler=name)
+            assert receiver.complete, name
+            by_scheduler[name] = _allocations(connection)
+        assert by_scheduler["round_robin"] != by_scheduler["lowest_rtt"]
+        assert by_scheduler["fcfs"] != by_scheduler["lowest_rtt"]
+
+    def test_lowest_rtt_shifts_allocation_toward_the_short_path(self) -> None:
+        connection, receiver, _ = _run_mptcp(
+            150_000, subflows=3, paths=3, asymmetric=True, scheduler="lowest_rtt")
+        assert receiver.complete
+        allocations = _allocations(connection)
+        by_rtt = sorted(
+            connection.subflows, key=lambda s: s.rto_estimator.smoothed_rtt)
+        # The lowest-RTT subflow must carry a strict majority of the stream.
+        assert by_rtt[0].allocated_bytes > sum(allocations) / 2
+
+    def test_round_robin_spreads_more_evenly_than_lowest_rtt(self) -> None:
+        spreads = {}
+        for name in ("round_robin", "lowest_rtt"):
+            connection, receiver, _ = _run_mptcp(
+                150_000, subflows=3, paths=3, asymmetric=True, scheduler=name)
+            assert receiver.complete
+            allocations = _allocations(connection)
+            spreads[name] = max(allocations) - min(allocations)
+        assert spreads["round_robin"] < spreads["lowest_rtt"]
+
+    def test_round_robin_spreads_chunks_evenly_on_symmetric_paths(self) -> None:
+        # Strict rotation hands out chunks in turn, so on loss-free symmetric
+        # paths every subflow ends up with an (almost) equal share — unlike
+        # FCFS, where the first-established subflow races ahead.
+        connection, receiver, _ = _run_mptcp(
+            60_000, subflows=3, paths=3, scheduler="round_robin")
+        assert receiver.complete
+        allocations = _allocations(connection)
+        assert all(bytes_ > 0 for bytes_ in allocations)
+        assert max(allocations) - min(allocations) <= 4 * TEST_CONFIG.mss
+
+    def test_redundant_scheduler_duplicates_unacked_data(self) -> None:
+        connection, receiver, _ = _run_mptcp(60_000, subflows=3, scheduler="redundant")
+        assert connection.complete
+        assert receiver.complete
+        assert receiver.bytes_received_in_order == 60_000
+        # Every subflow walks the stream from the start, so the total mapped
+        # bytes strictly exceed the stream (that is the redundancy).
+        assert sum(_allocations(connection)) > 60_000
+        # Each subflow's own mapping never overlaps itself and is in order.
+        for subflow in connection.subflows:
+            ranges = sorted((dsn, dsn + size) for dsn, size in subflow._segments.values())
+            for (_, end), (start, _) in zip(ranges, ranges[1:]):
+                assert start >= end
+        # The receiver observed the duplication.
+        assert receiver.data_buffer.duplicate_bytes > 0
+
+    def test_redundant_cursor_skips_already_acked_data(self) -> None:
+        # A subflow allocating behind the data-level ACK point must jump its
+        # cursor forward: re-mapping delivered bytes would be pure waste.
+        simulator = Simulator()
+        topology = TwoHostTopology(simulator)
+        connection = MptcpConnection(
+            simulator, topology.sender, topology.receiver.address, 5001,
+            100_000, num_subflows=2, config=TEST_CONFIG,
+            scheduler=make_scheduler("redundant"))
+        lagging = connection.subflows[1]
+        connection.data_acked = 50_000
+        assert connection.allocate_chunk(lagging) == (50_000, TEST_CONFIG.mss)
+        # The cursor now advances normally from the jump point.
+        assert connection.allocate_chunk(lagging) == (51_000, TEST_CONFIG.mss)
+
+
+class TestFullMeshPathManager:
+    def test_one_pinned_subflow_per_interface_on_dualhomed_hosts(self) -> None:
+        simulator = Simulator()
+        topology = DualHomedFatTreeTopology(simulator, FatTreeParams(k=4))
+        sender, receiver_host = topology.hosts[0], topology.hosts[-1]
+        receiver = MptcpReceiver(simulator, receiver_host, local_port=5001,
+                                 expected_bytes=120_000)
+        connection = MptcpConnection(
+            simulator, sender, receiver_host.address, 5001, 120_000,
+            num_subflows=8, config=TEST_CONFIG,
+            path_manager=make_path_manager("fullmesh"))
+        # fullmesh ignores the configured count: one subflow per uplink,
+        # each pinned to a distinct egress interface.
+        assert len(connection.subflows) == len(sender.interfaces) == 2
+        assert [s.egress_interface for s in connection.subflows] == [0, 1]
+        connection.start()
+        simulator.run(until=30.0)
+        assert connection.complete
+        assert receiver.complete
+        assert all(s.allocated_bytes > 0 for s in connection.subflows)
+
+    def test_fullmesh_refuses_interfaceless_hosts(self) -> None:
+        simulator = Simulator()
+        topology = TwoHostTopology(simulator)
+        host = topology.sender
+        host.interfaces.clear()
+        with pytest.raises(RuntimeError):
+            MptcpConnection(simulator, host, topology.receiver.address, 5001,
+                            1000, num_subflows=2, config=TEST_CONFIG,
+                            path_manager=make_path_manager("fullmesh"))
+
+
+class TestAggregateStats:
+    def test_established_time_is_earliest_subflow_handshake(self) -> None:
+        connection, _, _ = _run_mptcp(100_000, subflows=3)
+        stats = connection.aggregate_stats()
+        times = [s.stats.established_time for s in connection.subflows
+                 if s.stats.established_time is not None]
+        assert times, "subflows must have completed their handshakes"
+        assert stats.established_time == min(times)
+
+    def test_established_time_none_before_any_handshake(self) -> None:
+        simulator = Simulator()
+        topology = TwoHostTopology(simulator)
+        connection = MptcpConnection(simulator, topology.sender, topology.receiver.address,
+                                     5001, 10_000, num_subflows=2, config=TEST_CONFIG)
+        assert connection.aggregate_stats().established_time is None
 
 
 class TestReceiver:
