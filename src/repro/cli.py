@@ -11,7 +11,10 @@ Exposes the experiment harness without writing any Python::
     repro-mmptcp deadlines --slack 2.0
     repro-mmptcp scenarios list
     repro-mmptcp scenarios run core-link-failure --protocol mmptcp
+    repro-mmptcp scenarios run vm-migration --protocol mmptcp
     repro-mmptcp scenarios matrix --workers 4 --export-dir results/
+    repro-mmptcp scenarios matrix --scenarios vm-migration vip-failover \
+        --transports tcp mmptcp
     repro-mmptcp campaign run --store results/store --workers 4 --report report.md
     repro-mmptcp campaign status --store results/store
     repro-mmptcp campaign report --store results/store --output report.md

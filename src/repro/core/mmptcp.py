@@ -63,6 +63,7 @@ class MmptcpConnection(MptcpConnection):
         rng: Optional[random.Random] = None,
         scheduler: Optional[SubflowScheduler] = None,
         path_manager: Optional[PathManager] = None,
+        address_resolver: Optional[Callable[[int], int]] = None,
         on_complete: Optional[Callable[["MptcpConnection"], None]] = None,
         on_phase_switch: Optional[Callable[["MmptcpConnection"], None]] = None,
         trace: TraceSink = NULL_SINK,
@@ -78,6 +79,7 @@ class MmptcpConnection(MptcpConnection):
             config=config,
             scheduler=scheduler,
             path_manager=path_manager,
+            address_resolver=address_resolver,
             on_complete=on_complete,
             trace=trace,
             create_subflows=False,
@@ -158,6 +160,36 @@ class MmptcpConnection(MptcpConnection):
             and self.switching_policy.should_switch_on_congestion(kind)
         ):
             self._switch_to_mptcp(reason=f"congestion:{kind}")
+
+    def _on_peer_readdressed(self, new_address: int) -> None:
+        """A migrated peer forces the MPTCP phase.
+
+        The scatter flow's sprayed packets are bound (by handshake) to the
+        old address, so it dies with the readdressing like any other subflow;
+        re-establishing a *scatter* flow would re-spray into the same fabric
+        the connection just lost, while regular MPTCP subflows towards the
+        new address restore connectivity immediately.  The phase bookkeeping
+        is set directly — :meth:`_switch_to_mptcp` would open subflows at
+        stale ids towards the not-yet-updated address — and the base
+        readdressing path then opens the replacement subflows.
+        """
+        if self.phase == PHASE_PACKET_SCATTER:
+            self.phase = PHASE_MPTCP
+            self.switch_time = self.simulator.now
+            self.switch_reason = "peer_readdressed"
+            if self.trace.enabled:
+                self.trace.emit(
+                    self.simulator.now,
+                    "phase_switch",
+                    flow_id=self.flow_id,
+                    reason="peer_readdressed",
+                    bytes_in_scatter=self.bytes_in_scatter_phase,
+                )
+            super()._on_peer_readdressed(new_address)
+            if self.on_phase_switch is not None:
+                self.on_phase_switch(self)
+            return
+        super()._on_peer_readdressed(new_address)
 
     def _switch_to_mptcp(self, reason: str) -> None:
         if self.phase == PHASE_MPTCP:

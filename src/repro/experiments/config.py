@@ -95,9 +95,12 @@ class ExperimentConfig:
     path_manager: str = "ndiffports"
 
     # Faults ---------------------------------------------------------------
-    #: Timed link failures / degradations applied to the fabric during the
-    #: run (see :mod:`repro.net.faults`).  A tuple of frozen events so the
-    #: config stays hashable and picklable for parallel sweeps.
+    #: Timed fabric changes applied during the run (see
+    #: :mod:`repro.net.faults`): link failures / recoveries / degradations,
+    #: gradual ``drain_link`` staircases, and ``migrate_host`` endpoint
+    #: re-homing events.  A tuple of frozen events so the config stays
+    #: hashable and picklable for parallel sweeps — and so every fault
+    #: (migrations included) participates in store keys automatically.
     fault_schedule: Tuple[FaultEvent, ...] = ()
 
     # Run control ---------------------------------------------------------------

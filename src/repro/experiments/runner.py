@@ -276,6 +276,7 @@ def create_flow(
             num_subflows=spec.num_subflows, flow_id=spec.flow_id, config=tcp_config,
             scheduler=make_scheduler(config.scheduler),
             path_manager=make_path_manager(config.path_manager),
+            address_resolver=topology.current_address_of,
         )
         return _FlowInstance(spec, sender, receiver)
 
@@ -294,6 +295,7 @@ def create_flow(
                 reordering_policy=reordering, rng=rng,
                 scheduler=make_scheduler(config.scheduler),
                 path_manager=make_path_manager(config.path_manager),
+                address_resolver=topology.current_address_of,
             )
         else:
             sender = MmptcpConnection(
@@ -303,6 +305,7 @@ def create_flow(
                 reordering_policy=reordering, path_count_hint=path_count, rng=rng,
                 scheduler=make_scheduler(config.scheduler),
                 path_manager=make_path_manager(config.path_manager),
+                address_resolver=topology.current_address_of,
             )
         return _FlowInstance(spec, sender, receiver)
 

@@ -1,4 +1,4 @@
-"""Timed fault injection: link failures and capacity degradation.
+"""Timed fault injection: link failures, degradation, drains and migration.
 
 A fault schedule is a tuple of :class:`FaultEvent`s — pure, hashable,
 picklable data, so it can live on a frozen :class:`ExperimentConfig` and
@@ -16,6 +16,25 @@ Two layers cooperate to keep traffic flowing:
 * :meth:`repro.net.switch.Switch.select_output_interface` re-hashes over the
   live subset of a group if the hashed choice is down, which covers any
   window where tables and link state disagree.
+
+Beyond the four link verbs, two mobility verbs ride the same machinery:
+
+* ``drain_link`` is a compound event expanded at arm time into a gradual
+  ``degrade`` staircase (:data:`DRAIN_STEPS` steps of ``factor``,
+  ``factor**2``, ...) followed by a ``link_down`` — the shape of an operator
+  draining traffic off a link before taking it out of service;
+* ``migrate_host`` detaches the named host (``node_a``), waits out the
+  migration downtime (``duration_s``), then re-attaches it to the named
+  switch (``node_b``), optionally under a new address — see
+  :meth:`repro.topology.base.Topology.migrate_host`.
+
+Idempotency: re-applying a state a link is already in is an explicit no-op.
+``link_up`` on an up link does not re-add the graph edge (a duplicate edge
+is harmless in networkx, but the rebuild it triggered was pure waste and the
+intent is ambiguous), ``link_down`` on a down link changes nothing, and
+``restore`` without a matching ``degrade`` leaves the rate untouched.  Every
+scheduled event still counts in ``applied_events`` and still traces, so
+schedules remain auditable.
 """
 
 from __future__ import annotations
@@ -35,20 +54,38 @@ LINK_DOWN = "link_down"
 LINK_UP = "link_up"
 DEGRADE = "degrade"
 RESTORE = "restore"
+MIGRATE_HOST = "migrate_host"
+DRAIN_LINK = "drain_link"
 
-_KINDS = (LINK_DOWN, LINK_UP, DEGRADE, RESTORE)
+_KINDS = (LINK_DOWN, LINK_UP, DEGRADE, RESTORE, MIGRATE_HOST, DRAIN_LINK)
+
+#: Number of degrade steps a ``drain_link`` expands into before the final
+#: ``link_down``.
+DRAIN_STEPS = 3
 
 
 @dataclass(frozen=True)
 class FaultEvent:
-    """One timed change to the link between two named nodes.
+    """One timed change to the fabric.
 
     Attributes:
         time_s: simulated time at which the fault is applied.
-        kind: one of ``link_down`` / ``link_up`` / ``degrade`` / ``restore``.
-        node_a / node_b: names of the link's endpoints (order irrelevant).
+        kind: one of ``link_down`` / ``link_up`` / ``degrade`` / ``restore``
+            / ``migrate_host`` / ``drain_link``.
+        node_a / node_b: for link kinds, names of the link's endpoints (order
+            irrelevant).  For ``migrate_host``, ``node_a`` is the host being
+            migrated and ``node_b`` the switch it re-attaches to (order
+            matters).
         factor: for ``degrade``, the multiplier applied to the link's
-            *original* rate (0.25 = quarter speed).  Ignored otherwise.
+            *original* rate (0.25 = quarter speed).  For ``drain_link``, the
+            per-step multiplier of the degrade staircase (must be in (0, 1)).
+            Ignored otherwise.
+        duration_s: for ``drain_link``, the time from the first degrade step
+            to the final ``link_down``.  For ``migrate_host``, the downtime
+            between detach and re-attach (0 = atomic migration).
+        new_address: for ``migrate_host``, the address the host assumes at
+            its new attachment point (``None`` keeps the old address — a
+            "VM migration" that preserves identity).
     """
 
     time_s: float
@@ -56,6 +93,8 @@ class FaultEvent:
     node_a: str
     node_b: str
     factor: float = 1.0
+    duration_s: float = 0.0
+    new_address: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.time_s < 0:
@@ -66,6 +105,18 @@ class FaultEvent:
             raise ValueError("degrade factor must be positive")
         if not self.node_a or not self.node_b or self.node_a == self.node_b:
             raise ValueError("fault endpoints must be two distinct node names")
+        if self.duration_s < 0:
+            raise ValueError("fault duration cannot be negative")
+        if self.kind == DRAIN_LINK:
+            if self.duration_s <= 0:
+                raise ValueError("drain_link needs a positive duration")
+            if not 0 < self.factor < 1:
+                raise ValueError("drain_link factor must be in (0, 1)")
+        if self.kind == MIGRATE_HOST:
+            if self.new_address is not None and self.new_address < 0:
+                raise ValueError("migrate_host new_address cannot be negative")
+        elif self.new_address is not None:
+            raise ValueError(f"new_address is only meaningful for {MIGRATE_HOST!r} events")
 
 
 def link_failure(time_s: float, node_a: str, node_b: str) -> FaultEvent:
@@ -101,6 +152,48 @@ def degradation(
     return tuple(events)
 
 
+def host_migration(
+    time_s: float,
+    host: str,
+    new_attachment: str,
+    downtime_s: float = 0.0,
+    new_address: Optional[int] = None,
+) -> FaultEvent:
+    """Re-home ``host`` onto the ``new_attachment`` switch at ``time_s``.
+
+    ``downtime_s`` is the detach→re-attach gap (VM blackout window); a
+    ``new_address`` models a failover that lands on a different identity
+    (VIP move) rather than an address-preserving live migration.
+    """
+    return FaultEvent(
+        time_s=time_s,
+        kind=MIGRATE_HOST,
+        node_a=host,
+        node_b=new_attachment,
+        duration_s=downtime_s,
+        new_address=new_address,
+    )
+
+
+def link_drain(
+    time_s: float, node_a: str, node_b: str, duration_s: float, factor: float = 0.5
+) -> FaultEvent:
+    """Gradually drain the ``node_a``–``node_b`` link, then take it down.
+
+    Expands (at arm time) into :data:`DRAIN_STEPS` degrades — ``factor``,
+    ``factor**2``, ... of the original rate, evenly spaced over
+    ``duration_s`` — followed by a ``link_down`` at ``time_s + duration_s``.
+    """
+    return FaultEvent(
+        time_s=time_s,
+        kind=DRAIN_LINK,
+        node_a=node_a,
+        node_b=node_b,
+        factor=factor,
+        duration_s=duration_s,
+    )
+
+
 class FaultInjector:
     """Arms a fault schedule on a topology inside a running simulation."""
 
@@ -121,14 +214,73 @@ class FaultInjector:
         # Validate eagerly: a typo'd node name should fail at arm time, not
         # mid-simulation.
         for event in self.schedule:
-            self._interfaces_for(event)
+            self._validate(event)
 
     def arm(self) -> None:
-        """Schedule every fault event on the simulator."""
+        """Schedule every fault event on the simulator.
+
+        Compound events (``drain_link``) are expanded here into their
+        primitive steps; everything else is scheduled as-is.
+        """
         for event in self.schedule:
-            self.simulator.schedule_at(event.time_s, self._apply, event)
+            for step in self._expand(event):
+                self.simulator.schedule_at(step.time_s, self._apply, step)
 
     # ------------------------------------------------------------------
+
+    def _validate(self, event: FaultEvent) -> None:
+        if event.kind == MIGRATE_HOST:
+            host = self._named_node(event.node_a)
+            if host.kind != "host":
+                raise ValueError(f"migrate_host subject {event.node_a!r} is not a host")
+            switch = self._named_node(event.node_b)
+            if switch.kind != "switch":
+                raise ValueError(
+                    f"migrate_host attachment {event.node_b!r} is not a switch"
+                )
+            if event.new_address is not None:
+                try:
+                    owner = self.topology.host_by_address(event.new_address)
+                except KeyError:
+                    owner = None
+                if owner is not None and owner is not host:
+                    raise ValueError(
+                        f"migrate_host new_address {event.new_address} is already "
+                        f"owned by host {owner.name!r}"
+                    )
+        else:
+            # Every link kind (drain_link included) names an existing link.
+            self._interfaces_for(event)
+
+    def _named_node(self, name: str):
+        try:
+            return self.topology.node(name)
+        except KeyError:
+            raise ValueError(f"unknown node {name!r}") from None
+
+    def _expand(self, event: FaultEvent) -> Tuple[FaultEvent, ...]:
+        """Expand compound events into the primitive steps actually applied."""
+        if event.kind != DRAIN_LINK:
+            return (event,)
+        step = event.duration_s / DRAIN_STEPS
+        staircase = tuple(
+            FaultEvent(
+                time_s=event.time_s + index * step,
+                kind=DEGRADE,
+                node_a=event.node_a,
+                node_b=event.node_b,
+                factor=event.factor ** (index + 1),
+            )
+            for index in range(DRAIN_STEPS)
+        )
+        return staircase + (
+            FaultEvent(
+                time_s=event.time_s + event.duration_s,
+                kind=LINK_DOWN,
+                node_a=event.node_a,
+                node_b=event.node_b,
+            ),
+        )
 
     def _interfaces_for(self, event: FaultEvent) -> Tuple["Interface", "Interface"]:
         return self.topology.interfaces_between(event.node_a, event.node_b)
@@ -149,19 +301,34 @@ class FaultInjector:
         return (event.node_b, event.node_a), iface_ba, iface_ab
 
     def _apply(self, event: FaultEvent) -> None:
+        if event.kind == DRAIN_LINK:  # pragma: no cover - guarded by arm()
+            raise RuntimeError("drain_link must be expanded before application")
+        if event.kind == MIGRATE_HOST:
+            self._apply_migration(event)
+            return
         iface_ab, iface_ba = self._interfaces_for(event)
         graph = self.topology.graph
         if event.kind == LINK_DOWN:
-            iface_ab.set_up(False)
-            iface_ba.set_up(False)
-            if graph.has_edge(event.node_a, event.node_b):
-                graph.remove_edge(event.node_a, event.node_b)
-            self.topology.rebuild_routes()
+            # No-op when the link is already fully down: nothing to change,
+            # so no route rebuild either.
+            edge_present = graph.has_edge(event.node_a, event.node_b)
+            if iface_ab.up or iface_ba.up or edge_present:
+                iface_ab.set_up(False)
+                iface_ba.set_up(False)
+                if edge_present:
+                    graph.remove_edge(event.node_a, event.node_b)
+                self.topology.rebuild_routes()
         elif event.kind == LINK_UP:
-            iface_ab.set_up(True)
-            iface_ba.set_up(True)
-            graph.add_edge(event.node_a, event.node_b)
-            self.topology.rebuild_routes()
+            # No-op when the link is already fully up: re-adding the graph
+            # edge and rebuilding routes would be pure (non-deterministic
+            # looking) churn.
+            edge_present = graph.has_edge(event.node_a, event.node_b)
+            if not (iface_ab.up and iface_ba.up and edge_present):
+                iface_ab.set_up(True)
+                iface_ba.set_up(True)
+                if not edge_present:
+                    graph.add_edge(event.node_a, event.node_b)
+                self.topology.rebuild_routes()
         elif event.kind == DEGRADE:
             key, iface_ab, iface_ba = self._oriented(event, iface_ab, iface_ba)
             if key not in self._original_rates:
@@ -169,7 +336,7 @@ class FaultInjector:
             original_ab, original_ba = self._original_rates[key]
             iface_ab.set_rate(original_ab * event.factor)
             iface_ba.set_rate(original_ba * event.factor)
-        else:  # RESTORE
+        else:  # RESTORE — without a matching DEGRADE this is an explicit no-op.
             key, iface_ab, iface_ba = self._oriented(event, iface_ab, iface_ba)
             if key in self._original_rates:
                 original_ab, original_ba = self._original_rates.pop(key)
@@ -182,4 +349,42 @@ class FaultInjector:
                 event.kind,
                 link=f"{event.node_a}<->{event.node_b}",
                 factor=event.factor,
+            )
+
+    # ------------------------------------------------------------------
+    # Migration
+    # ------------------------------------------------------------------
+
+    def _apply_migration(self, event: FaultEvent) -> None:
+        self.applied_events += 1
+        if self.trace.enabled:
+            self.trace.emit(
+                self.simulator.now,
+                event.kind,
+                host=event.node_a,
+                attachment=event.node_b,
+                downtime=event.duration_s,
+            )
+        if event.duration_s > 0:
+            # Downtime window: the host drops off the fabric now and the
+            # routes converge around its absence until re-attach.
+            self.topology.detach_host(event.node_a)
+            self.simulator.schedule(event.duration_s, self._complete_migration, event)
+        else:
+            # Atomic migration: converge once, on the post-migration graph.
+            self.topology.detach_host(event.node_a, rebuild=False)
+            self._complete_migration(event)
+
+    def _complete_migration(self, event: FaultEvent) -> None:
+        self.topology.attach_host(
+            event.node_a, event.node_b, new_address=event.new_address
+        )
+        if self.trace.enabled:
+            host = self.topology.node(event.node_a)
+            self.trace.emit(
+                self.simulator.now,
+                "host_attached",
+                host=event.node_a,
+                attachment=event.node_b,
+                address=host.address,
             )

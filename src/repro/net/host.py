@@ -26,6 +26,11 @@ from repro.sim.engine import Simulator
 from repro.sim.tracing import NULL_SINK, TraceSink
 
 
+#: IANA dynamic/private port range used for ephemeral allocation.
+EPHEMERAL_PORT_MIN = 49152
+EPHEMERAL_PORT_MAX = 65535
+
+
 class PacketHandler(Protocol):
     """Anything that can accept packets demultiplexed to a local port."""
 
@@ -48,7 +53,7 @@ class Host(Node):
         super().__init__(simulator, name, trace)
         self.address = address
         self._endpoints: Dict[int, PacketHandler] = {}
-        self._next_ephemeral_port = 49152
+        self._next_ephemeral_port = EPHEMERAL_PORT_MIN
         self.unroutable_packets = 0
         self.undeliverable_packets = 0
         traced = trace is not NULL_SINK
@@ -70,12 +75,27 @@ class Host(Node):
         self._endpoints.pop(port, None)
 
     def allocate_port(self) -> int:
-        """Hand out the next unused ephemeral port on this host."""
-        while self._next_ephemeral_port in self._endpoints:
-            self._next_ephemeral_port += 1
+        """Hand out the next unused ephemeral port on this host.
+
+        Ports come from the IANA ephemeral range [49152, 65535] and wrap
+        around once the counter reaches the top, skipping ports that are
+        still bound.  When every port in the range is bound the host raises
+        instead of silently handing out an out-of-range (and therefore
+        never-matching) port number.
+        """
+        span = EPHEMERAL_PORT_MAX - EPHEMERAL_PORT_MIN + 1
         port = self._next_ephemeral_port
-        self._next_ephemeral_port += 1
-        return port
+        for _ in range(span):
+            if port not in self._endpoints:
+                self._next_ephemeral_port = (
+                    EPHEMERAL_PORT_MIN + (port + 1 - EPHEMERAL_PORT_MIN) % span
+                )
+                return port
+            port = EPHEMERAL_PORT_MIN + (port + 1 - EPHEMERAL_PORT_MIN) % span
+        raise RuntimeError(
+            f"host {self.name} has exhausted the ephemeral port range "
+            f"[{EPHEMERAL_PORT_MIN}, {EPHEMERAL_PORT_MAX}]"
+        )
 
     def endpoint_for(self, port: int) -> Optional[PacketHandler]:
         """The endpoint bound to ``port``, if any."""
@@ -120,7 +140,14 @@ class Host(Node):
         interfaces = self.interfaces
         if not interfaces:
             raise RuntimeError(f"host {self.name} has no interfaces")
-        interface = interfaces[interface_index % len(interfaces)]
+        if not 0 <= interface_index < len(interfaces):
+            # A silent modulo here would alias a misconfigured pin onto an
+            # arbitrary uplink and hide the path-manager bug that produced it.
+            raise ValueError(
+                f"interface index {interface_index} out of range for host "
+                f"{self.name} with {len(interfaces)} interface(s)"
+            )
+        interface = interfaces[interface_index]
         if not interface.up:
             live = [i for i in range(len(interfaces)) if interfaces[i].up]
             if live:

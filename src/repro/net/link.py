@@ -196,6 +196,25 @@ class Interface:
             raise ValueError("link rate must be positive")
         self.rate_bps = rate_bps
 
+    def purge_queue(self) -> int:
+        """Drop every parked packet (host detach: the cable is unplugged).
+
+        Packets sitting in a down interface's queue would otherwise be
+        delivered to the *old* peer when the interface is reused — a detached
+        host's queue contents are gone for good.  Each purged packet is
+        counted as a fault drop and retired through the normal drop path.
+        Returns the number of packets purged.
+        """
+        purged = 0
+        while True:
+            packet = self.queue.dequeue()
+            if packet is None:
+                break
+            self.fault_drops += 1
+            self._drop(packet)
+            purged += 1
+        return purged
+
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------

@@ -4,8 +4,9 @@ Scenarios are registered by name so experiments, the CLI and CI jobs can
 refer to conditions declaratively (``scenarios run core-link-failure``)
 instead of hand-assembling fault schedules.  The built-in catalogue below
 covers the regimes the paper's healthy-fabric figures leave untested: failed
-links, flapping links, degraded capacity, and asymmetric (over-subscribed /
-heterogeneous-speed) fat-trees.
+links, flapping links, degraded capacity, asymmetric (over-subscribed /
+heterogeneous-speed) fat-trees, and endpoint mobility (live migration, VIP
+failover, rolling link drains).
 
 All built-in fault endpoints exist on any FatTree-family fabric with
 ``k >= 4`` (``core-0``/``core-1``, ``agg-0-0``, ``edge-0-0``), which every
@@ -16,8 +17,13 @@ from __future__ import annotations
 
 from typing import Dict, List
 
-from repro.net.faults import degradation, link_failure, link_flap
+from repro.net.faults import degradation, host_migration, link_drain, link_failure, link_flap
 from repro.scenarios.spec import WORKLOAD_INCAST, ScenarioSpec
+
+#: Address assumed by the failover target in ``vip-failover``.  Encoded well
+#: above any FatTree host address (pod field ≥ 256), so it never collides
+#: with a real host at any scale.
+VIP_FAILOVER_ADDRESS = (1 << 28) + 1
 
 _REGISTRY: Dict[str, ScenarioSpec] = {}
 
@@ -130,5 +136,52 @@ register_scenario(
         fan_in=8,
         receiver="host-0-0-0",
         faults=(link_failure(0.02, "edge-0-0", "agg-0-0"),),
+    )
+)
+
+# Mobility scenarios: an endpoint's attachment point (and possibly address)
+# changes mid-run.  MPTCP-family transports detect the break through RTOs,
+# resolve the peer's current address and re-establish subflows; single-path
+# TCP has no such machinery and must ride out the stall (or, when the
+# address changed, never recovers) — the contrast the paper's resilience
+# claims predict.
+register_scenario(
+    ScenarioSpec(
+        name="vm-migration",
+        description=(
+            "host-0-0-0 live-migrates to edge-0-1 at t=40 ms with a 60 ms "
+            "blackout window; its address is preserved."
+        ),
+        faults=(host_migration(0.04, "host-0-0-0", "edge-0-1", downtime_s=0.06),),
+    )
+)
+
+register_scenario(
+    ScenarioSpec(
+        name="vip-failover",
+        description=(
+            "host-0-0-0 fails over to edge-1-0 at t=40 ms instantly, assuming "
+            "a new (virtual-IP) address — in-flight traffic to the old "
+            "address black-holes."
+        ),
+        faults=(
+            host_migration(
+                0.04, "host-0-0-0", "edge-1-0", new_address=VIP_FAILOVER_ADDRESS
+            ),
+        ),
+    )
+)
+
+register_scenario(
+    ScenarioSpec(
+        name="rolling-drain",
+        description=(
+            "agg-0-0's two core uplinks are drained in a staggered rollout "
+            "(gradual degrade staircase, then down), leaving pod 0 on agg-0-1."
+        ),
+        faults=(
+            link_drain(0.02, "core-0", "agg-0-0", duration_s=0.09, factor=0.5),
+            link_drain(0.05, "core-1", "agg-0-0", duration_s=0.09, factor=0.5),
+        ),
     )
 )

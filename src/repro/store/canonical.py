@@ -37,7 +37,10 @@ from typing import Any, Mapping, Optional, Sequence
 #: v2: ExperimentConfig grew ``scheduler`` / ``path_manager`` fields (and the
 #: previously dead scheduler now influences results, so v1 artifacts no
 #: longer describe what a re-run would produce).
-STORE_SCHEMA_VERSION = 2
+#: v3: FaultEvent grew ``duration_s`` / ``new_address`` (mobility verbs), so
+#: the serialised form of every fault schedule — and therefore the key of
+#: any config that has one — changed.
+STORE_SCHEMA_VERSION = 3
 
 
 def to_jsonable(value: Any, _path: str = "$") -> Any:

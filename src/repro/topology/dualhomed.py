@@ -38,6 +38,7 @@ class DualHomedFatTreeTopology(Topology):
         if params.k < 4:
             raise ValueError("a dual-homed FatTree needs k >= 4 (two edge switches per pod)")
         self.params = params
+        self.default_queue_factory = queue_factory
         half_k = params.k // 2
 
         core_switches = [

@@ -141,6 +141,7 @@ class FatTreeTopology(Topology):
     ) -> None:
         super().__init__(simulator, trace)
         self.params = params
+        self.default_queue_factory = queue_factory
         half_k = params.k // 2
 
         # Core layer -----------------------------------------------------

@@ -68,6 +68,7 @@ class Vl2Topology(Topology):
     ) -> None:
         super().__init__(simulator, trace)
         self.params = params
+        self.default_queue_factory = queue_factory
 
         intermediate_switches = [
             self.add_switch(f"int-{index}", LAYER_CORE)

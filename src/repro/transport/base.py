@@ -107,7 +107,9 @@ class Endpoint:
     #: the host's normal uplink selection (flow-hash ECMP when multi-homed).
     #: Set by path managers that pin subflows to interfaces (``fullmesh``);
     #: a class attribute so the unpinned common case costs one dict miss,
-    #: not per-instance storage.
+    #: not per-instance storage.  The index must be in range for the host's
+    #: interface table — ``Host.send_via`` raises ``ValueError`` on a stale
+    #: or misconfigured pin instead of silently aliasing onto another uplink.
     egress_interface: Optional[int] = None
 
     def __init__(

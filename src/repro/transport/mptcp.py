@@ -17,13 +17,15 @@ the whole connection stalls for a 200 ms retransmission timeout
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Tuple
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional, Tuple
 
 from repro.net.host import Host
 from repro.net.packet import FLAG_ACK, FLAG_SYN, Packet, acquire_packet, make_ack
 from repro.sim.engine import Simulator
 from repro.sim.tracing import NULL_SINK, TraceSink
 from repro.transport.base import Endpoint, SenderStats, TcpConfig
+from repro.transport.cc.base import LOSS_TIMEOUT
 from repro.transport.cc.lia import LiaController
 from repro.transport.path_manager import NdiffportsPathManager, PathManager
 from repro.transport.receiver import TcpReceiver
@@ -112,6 +114,22 @@ class MptcpSubflow(TcpSender):
         # stream (handled by MptcpConnection.on_dack).
         self._cancel_rto_timer()
 
+    # -- peer mobility ------------------------------------------------------
+
+    def _on_rto(self) -> None:
+        if not self.complete and not self.established:
+            # The handshake keeps timing out: the peer may have moved, so
+            # consult the resolver before retrying the SYN into a black hole.
+            # This deliberately bypasses the congestion-event path — an
+            # unestablished subflow has no congestion state to report and
+            # MMPTCP's switching policies must not observe handshake retries.
+            self.connection._subflow_handshake_timeout(self)
+            if self.complete:
+                # Readdressing killed this subflow; a replacement is already
+                # connecting to the peer's new address.
+                return
+        super()._on_rto()
+
     # -- establishment ------------------------------------------------------
 
     def _handle_syn_ack(self, packet: Packet) -> None:
@@ -141,6 +159,7 @@ class MptcpConnection:
         config: TcpConfig = TcpConfig(),
         scheduler: Optional[SubflowScheduler] = None,
         path_manager: Optional[PathManager] = None,
+        address_resolver: Optional[Callable[[int], int]] = None,
         on_complete: Optional[ConnectionCallback] = None,
         trace: TraceSink = NULL_SINK,
         create_subflows: bool = True,
@@ -161,6 +180,11 @@ class MptcpConnection:
         self.path_manager = (
             path_manager if path_manager is not None else NdiffportsPathManager()
         )
+        #: Control-plane lookup from a (possibly stale) peer address to the
+        #: peer's current address — ``Topology.current_address_of`` in
+        #: practice.  Without one the connection cannot follow a migrated
+        #: peer and behaves exactly as before.
+        self.address_resolver = address_resolver
         self.on_complete = on_complete
         self.trace = trace
 
@@ -177,6 +201,9 @@ class MptcpConnection:
         self._pumping = False
         #: Per-subflow stream cursors for duplicating schedulers (redundant).
         self._redundant_cursors: Dict[int, int] = {}
+        #: (dsn, size) chunks stranded on subflows killed by a peer
+        #: readdressing, waiting to be mapped onto the replacement subflows.
+        self._reinjection_queue: Deque[Tuple[int, int]] = deque()
 
         if create_subflows:
             self._create_subflows(num_subflows, first_subflow_id=0)
@@ -195,14 +222,30 @@ class MptcpConnection:
         return MptcpSubflow(self, subflow_id)
 
     def active_subflows(self) -> List[MptcpSubflow]:
-        """Subflows that have completed their handshake (used by LIA coupling)."""
-        return [subflow for subflow in self.subflows if subflow.established]
+        """Live handshaken subflows (used by LIA coupling).
+
+        Subflows killed by a peer readdressing stay ``established`` but are
+        marked ``complete``; they must not count towards the coupled window.
+        """
+        return [
+            subflow
+            for subflow in self.subflows
+            if subflow.established and not subflow.complete
+        ]
 
     def _subflow_established(self, subflow: MptcpSubflow) -> None:
         """Hook invoked when a subflow finishes its handshake."""
 
     def _subflow_congestion_event(self, subflow: TcpSender, kind: str) -> None:
         self.congestion_events.append((self.simulator.now, subflow.subflow_id, kind))
+        if kind == LOSS_TIMEOUT:
+            # A retransmission timeout is the signal a real endpoint gets
+            # when its peer silently moved: consult the resolver.
+            self._check_peer_address()
+
+    def _subflow_handshake_timeout(self, subflow: MptcpSubflow) -> None:
+        """An unestablished subflow's SYN timed out; the peer may have moved."""
+        self._check_peer_address()
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -212,10 +255,69 @@ class MptcpConnection:
         """Open every subflow (each performs its own handshake) and begin sending."""
         if self.started:
             return
+        if self.address_resolver is not None:
+            # The peer may have migrated between flow creation and start:
+            # resolve once so the very first SYNs aim at the current address.
+            current = self.address_resolver(self.destination)
+            if current != self.destination:
+                self.destination = current
+                for subflow in self.subflows:
+                    if not subflow.started:
+                        subflow.destination = current
         self.started = True
         self.start_time = self.simulator.now
         for subflow in self.subflows:
             subflow.start()
+
+    # ------------------------------------------------------------------
+    # Peer mobility
+    # ------------------------------------------------------------------
+
+    def _check_peer_address(self) -> None:
+        """Resolve the peer's current address; re-home the connection if it moved."""
+        if self.address_resolver is None or self.complete:
+            return
+        current = self.address_resolver(self.destination)
+        if current != self.destination:
+            self._on_peer_readdressed(current)
+
+    def _on_peer_readdressed(self, new_address: int) -> None:
+        """The peer now lives at ``new_address``: re-establish connectivity.
+
+        Every live subflow is bound (via its handshake) to the old address,
+        so all of them are killed; the stream chunks they still held
+        unacknowledged are queued for reinjection, and a fresh set of
+        subflows is opened towards the new address.  Duplicating schedulers
+        need no reinjection — their per-subflow cursors restart from the
+        data-level acknowledgement point on the replacement subflows.
+        """
+        old_address = self.destination
+        self.destination = new_address
+        if not self.scheduler.duplicates:
+            pending: Dict[int, int] = {}
+            for subflow in self.subflows:
+                for dsn, size in subflow._segments.values():
+                    if dsn + size > self.data_acked:
+                        pending[dsn] = max(pending.get(dsn, 0), size)
+            self._reinjection_queue = deque(sorted(pending.items()))
+        for subflow in self.subflows:
+            if not subflow.complete:
+                subflow.complete = True
+                subflow._cancel_rto_timer()
+        if self.trace.enabled:
+            self.trace.emit(
+                self.simulator.now,
+                "peer_readdressed",
+                flow_id=self.flow_id,
+                old=old_address,
+                new=new_address,
+            )
+        if not self.complete:
+            next_id = max(subflow.subflow_id for subflow in self.subflows) + 1
+            created = self._create_subflows(self.num_subflows, first_subflow_id=next_id)
+            if self.started:
+                for subflow in created:
+                    subflow.start()
 
     # ------------------------------------------------------------------
     # Data allocation (demand driven)
@@ -235,6 +337,15 @@ class MptcpConnection:
         """Assign the next chunk (at most one MSS) of the stream to ``subflow``."""
         if self.scheduler.duplicates:
             return self._allocate_duplicate_chunk(subflow)
+        # Chunks stranded by a peer readdressing go out first — they are
+        # earlier in the stream than the frontier, and the receiver's
+        # cumulative data-level ACK cannot advance past them.  They are not
+        # new stream bytes, so the allocation hook is not invoked for them.
+        while self._reinjection_queue:
+            dsn, size = self._reinjection_queue.popleft()
+            if dsn + size <= self.data_acked:
+                continue  # delivered (and acked) before the subflows died
+            return dsn, size
         if self.all_data_allocated:
             return None
         size = min(self.config.mss, self.total_bytes - self._next_dsn)
@@ -283,13 +394,13 @@ class MptcpConnection:
                 self._redundant_cursors.get(subflow.subflow_id, 0), self.data_acked
             )
             return cursor < self.total_bytes
-        return not self.all_data_allocated
+        return bool(self._reinjection_queue) or not self.all_data_allocated
 
     def _subflow_done_allocating(self, subflow: MptcpSubflow) -> bool:
         """True when ``subflow`` will never be assigned another chunk."""
         if self.scheduler.duplicates:
             return not self._has_data_for(subflow)
-        return self.all_data_allocated
+        return self.all_data_allocated and not self._reinjection_queue
 
     def _candidates(self) -> List[MptcpSubflow]:
         """Subflows the scheduler may currently choose between.

@@ -76,9 +76,17 @@ class FullMeshPathManager(PathManager):
             raise RuntimeError(
                 f"host {connection.host.name} has no interfaces to mesh over"
             )
+        # Mesh over the *live* local interfaces: after a host migration the
+        # old attachment's interface stays in the table (indices are pinned)
+        # but is permanently down — a subflow pinned to it would black-hole.
+        # When every interface is down (mid-downtime) fall back to the full
+        # set so creation never produces zero subflows.
+        indices = [index for index, iface in enumerate(interfaces) if iface.up]
+        if not indices:
+            indices = list(range(len(interfaces)))
         subflows = []
-        for index in range(len(interfaces)):
-            subflow = connection._make_subflow(first_subflow_id + index)
+        for offset, index in enumerate(indices):
+            subflow = connection._make_subflow(first_subflow_id + offset)
             subflow.egress_interface = index
             subflows.append(subflow)
         return subflows

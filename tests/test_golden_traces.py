@@ -28,7 +28,7 @@ if __name__ == "__main__":  # pragma: no cover - regeneration entry point
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.incast_study import build_incast_workload_for
 from repro.experiments.runner import ExperimentResult, run_experiment
-from repro.net.faults import link_failure
+from repro.net.faults import host_migration, link_failure
 from repro.sim.tracing import RecordingTraceSink, canonical_trace
 from repro.traffic.flowspec import PROTOCOL_MMPTCP
 
@@ -73,6 +73,29 @@ def _link_failure_config() -> ExperimentConfig:
     )
 
 
+def _migration_config() -> ExperimentConfig:
+    # A live migration of host-0-0-0 mid-workload: detach at t=40 ms, 60 ms
+    # blackout, re-attach at edge-0-1 under the same address.  Pins the
+    # mobility verbs' event sequencing (migrate_host → host_attached), the
+    # route churn around the move, and the transports' recovery behaviour.
+    return ExperimentConfig(
+        fattree_k=4,
+        hosts_per_edge=1,
+        protocol=PROTOCOL_MMPTCP,
+        num_subflows=4,
+        arrival_window_s=0.1,
+        drain_time_s=1.2,
+        short_flow_rate_per_sender=4.0,
+        long_flow_size_bytes=400_000,
+        max_short_flows=6,
+        initial_cwnd_segments=2,
+        seed=7,
+        fault_schedule=(
+            host_migration(0.04, "host-0-0-0", "edge-0-1", downtime_s=0.06),
+        ),
+    )
+
+
 def _flow_lines(result: ExperimentResult) -> str:
     lines = []
     for record in result.metrics.flows:
@@ -103,6 +126,7 @@ def _golden_text(config: ExperimentConfig, incast_fan_in: int = 0) -> str:
 GOLDEN_RUNS = {
     "incast_mmptcp": lambda: _golden_text(_incast_config(), incast_fan_in=4),
     "linkfail_mmptcp": lambda: _golden_text(_link_failure_config()),
+    "migration_mmptcp": lambda: _golden_text(_migration_config()),
 }
 
 
@@ -132,6 +156,20 @@ def test_incast_golden_trace_is_stable() -> None:
 
 def test_link_failure_golden_trace_is_stable() -> None:
     _assert_matches_golden("linkfail_mmptcp")
+
+
+def test_migration_golden_trace_is_stable() -> None:
+    _assert_matches_golden("migration_mmptcp")
+
+
+def test_migration_golden_contains_the_mobility_event_sequence() -> None:
+    text = GOLDEN_RUNS["migration_mmptcp"]()
+    # The blackout and the re-attach both trace, in order.
+    assert " migrate_host " in text
+    assert " host_attached " in text
+    assert text.index(" migrate_host ") < text.index(" host_attached ")
+    # Every flow still completes: the fabric re-converges around the move.
+    assert "fct=None" not in text
 
 
 def test_golden_runs_are_deterministic_within_a_process() -> None:

@@ -1,0 +1,425 @@
+"""Endpoint migration & mobility: topology re-homing, port hygiene, and the
+MMPTCP-vs-TCP handover contrast.
+
+Covers the full stack of the mobility subsystem:
+
+* ``Topology.detach_host`` / ``attach_host`` / ``migrate_host`` primitives —
+  attachment rebinding, stale-route cleanup, address-change chain squashing;
+* ``Host.allocate_port`` wrap-around and exhaustion, and ``Host.send_via``
+  range checking (the fullmesh-misconfiguration regression);
+* transport-level subflow re-establishment through the address resolver;
+* the experiment-level acceptance contrast: MMPTCP completes a transfer
+  across a mid-flow re-addressing migration while single-path TCP stalls;
+* determinism and store-key distinctness of the new mobility scenarios.
+"""
+
+from __future__ import annotations
+
+from functools import partial
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import run_experiment
+from repro.net.faults import FaultInjector, host_migration
+from repro.net.host import EPHEMERAL_PORT_MAX, EPHEMERAL_PORT_MIN
+from repro.net.packet import FLAG_DATA, Packet, release_packet
+from repro.scenarios import ScenarioMatrixRunner, get_scenario, matrix_rows, tiny_config
+from repro.sim.engine import Simulator
+from repro.sim.tracing import RecordingTraceSink
+from repro.sim.units import megabits_per_second, microseconds
+from repro.store import run_key
+from repro.topology.fattree import FatTreeParams, FatTreeTopology
+from repro.traffic.flowspec import PROTOCOL_MMPTCP, PROTOCOL_MPTCP, PROTOCOL_TCP, FlowSpec
+from repro.traffic.workloads import Workload
+from repro.transport.base import TcpConfig
+from repro.transport.mptcp import MptcpConnection, MptcpReceiver
+
+#: Out-of-band address used for re-addressing tests: encoded well above any
+#: FatTree host address, so it can never collide with a real host.
+_NEW_ADDRESS = (1 << 28) + 7
+
+
+def _fattree(simulator: Simulator, hosts_per_edge: int = 1) -> FatTreeTopology:
+    return FatTreeTopology(
+        simulator, FatTreeParams(k=4, hosts_per_edge=hosts_per_edge)
+    )
+
+
+# ---------------------------------------------------------------------------
+# Topology primitives
+# ---------------------------------------------------------------------------
+
+
+def test_migrate_host_rebinds_attachment_and_routes() -> None:
+    simulator = Simulator()
+    topology = _fattree(simulator)
+    host = topology.node("host-0-0-0")
+    old_iface = host.interfaces[0]
+
+    topology.migrate_host("host-0-0-0", "edge-0-1")
+
+    assert not topology.graph.has_edge("host-0-0-0", "edge-0-0")
+    assert topology.graph.has_edge("host-0-0-0", "edge-0-1")
+    # The old interface stays in the table (indices are pinned) but is dead;
+    # the new attachment appends a live one.
+    assert len(host.interfaces) == 2
+    assert not old_iface.up
+    assert host.interfaces[1].up
+    # Every switch still routes to the host — now via its new edge.
+    for switch in topology.switches:
+        assert switch.routes_to(host.address), switch.name
+    edge = topology.node("edge-0-1")
+    host_port = edge.neighbor_to_interface["host-0-0-0"]
+    assert host_port in topology.node("edge-0-1").routes_to(host.address)
+
+
+def test_migrate_host_with_new_address_cleans_stale_routes() -> None:
+    simulator = Simulator()
+    topology = _fattree(simulator)
+    host = topology.node("host-0-0-0")
+    old_address = host.address
+
+    topology.migrate_host("host-0-0-0", "edge-1-0", new_address=_NEW_ADDRESS)
+
+    assert host.address == _NEW_ADDRESS
+    assert topology.host_by_address(_NEW_ADDRESS) is host
+    with pytest.raises(KeyError):
+        topology.host_by_address(old_address)
+    # Regression: rebuild_routes only *writes* entries for current addresses;
+    # entries for the old address must have been removed explicitly, or
+    # in-flight packets would keep forwarding towards the old attachment.
+    for switch in topology.switches:
+        assert not switch.routes_to(old_address), switch.name
+        assert switch.routes_to(_NEW_ADDRESS), switch.name
+    assert topology.current_address_of(old_address) == _NEW_ADDRESS
+    # Unmigrated addresses resolve to themselves.
+    other = topology.node("host-1-0-0")
+    assert topology.current_address_of(other.address) == other.address
+
+
+def test_address_change_chain_squashes_and_migrating_back_unwinds() -> None:
+    simulator = Simulator()
+    topology = _fattree(simulator)
+    host = topology.node("host-0-0-0")
+    original = host.address
+    second = _NEW_ADDRESS
+    third = _NEW_ADDRESS + 1
+
+    topology.migrate_host("host-0-0-0", "edge-0-1", new_address=second)
+    topology.migrate_host("host-0-0-0", "edge-1-0", new_address=third)
+    # Both historical addresses resolve straight to the current one (no
+    # chain walking at lookup time).
+    assert topology.current_address_of(original) == third
+    assert topology.current_address_of(second) == third
+
+    # Migrating back to the original address must not leave a resolution
+    # cycle: the original resolves to itself again.
+    topology.migrate_host("host-0-0-0", "edge-0-0", new_address=original)
+    assert topology.current_address_of(original) == original
+    assert topology.current_address_of(second) == original
+    assert topology.current_address_of(third) == original
+
+
+def test_readdress_to_another_hosts_address_is_rejected() -> None:
+    simulator = Simulator()
+    topology = _fattree(simulator)
+    other = topology.node("host-1-0-0")
+    with pytest.raises(ValueError, match="already owned"):
+        topology.migrate_host("host-0-0-0", "edge-0-1", new_address=other.address)
+
+
+def test_detach_is_idempotent_and_attach_validates_node_kinds() -> None:
+    simulator = Simulator()
+    topology = _fattree(simulator)
+    topology.detach_host("host-0-0-0")
+    topology.detach_host("host-0-0-0")  # second detach: nothing left to cut
+    assert not topology.graph.has_edge("host-0-0-0", "edge-0-0")
+    with pytest.raises(ValueError):
+        topology.attach_host("host-0-0-0", "host-1-0-0")  # not a switch
+    with pytest.raises(ValueError):
+        topology.attach_host("edge-0-0", "edge-0-1")  # not a host
+
+
+# ---------------------------------------------------------------------------
+# The migrate_host fault verb
+# ---------------------------------------------------------------------------
+
+
+def test_migration_fault_detaches_waits_out_downtime_then_reattaches() -> None:
+    simulator = Simulator()
+    topology = _fattree(simulator)
+    sink = RecordingTraceSink()
+    injector = FaultInjector(
+        simulator,
+        topology,
+        (host_migration(0.01, "host-0-0-0", "edge-0-1", downtime_s=0.05),),
+        trace=sink,
+    )
+    injector.arm()
+
+    simulator.run(until=0.03)  # mid-blackout
+    assert not topology.graph.has_edge("host-0-0-0", "edge-0-0")
+    assert not topology.graph.has_edge("host-0-0-0", "edge-0-1")
+    host = topology.node("host-0-0-0")
+    for switch in topology.switches:
+        assert not switch.routes_to(host.address)
+    assert sink.count("migrate_host") == 1
+    assert sink.count("host_attached") == 0
+
+    simulator.run(until=0.1)  # past re-attach at t=0.06
+    assert topology.graph.has_edge("host-0-0-0", "edge-0-1")
+    for switch in topology.switches:
+        assert switch.routes_to(host.address)
+    assert sink.count("host_attached") == 1
+    attached = sink.by_name["host_attached"][0]
+    assert attached.time == pytest.approx(0.06)
+    assert attached.data["attachment"] == "edge-0-1"
+    # One schedule entry, one applied event — the downtime completion is
+    # part of the same migration, not a second event.
+    assert injector.applied_events == 1
+
+
+def test_zero_downtime_migration_converges_in_one_step() -> None:
+    simulator = Simulator()
+    topology = _fattree(simulator)
+    sink = RecordingTraceSink()
+    FaultInjector(
+        simulator,
+        topology,
+        (host_migration(0.01, "host-0-0-0", "edge-1-1", new_address=_NEW_ADDRESS),),
+        trace=sink,
+    ).arm()
+    simulator.run(until=0.02)
+    assert topology.graph.has_edge("host-0-0-0", "edge-1-1")
+    assert topology.node("host-0-0-0").address == _NEW_ADDRESS
+    # The detach and attach trace back-to-back at the same instant.
+    migrate, attached = sink.by_name["migrate_host"][0], sink.by_name["host_attached"][0]
+    assert migrate.time == attached.time == pytest.approx(0.01)
+    assert attached.data["address"] == _NEW_ADDRESS
+
+
+# ---------------------------------------------------------------------------
+# Host satellites: ephemeral ports and pinned egress
+# ---------------------------------------------------------------------------
+
+
+def test_allocate_port_wraps_at_the_top_of_the_ephemeral_range() -> None:
+    simulator = Simulator()
+    topology = _fattree(simulator)
+    host = topology.node("host-0-0-0")
+    host._next_ephemeral_port = EPHEMERAL_PORT_MAX
+    assert host.allocate_port() == EPHEMERAL_PORT_MAX
+    # Regression: the counter used to run straight past 65535 and hand out
+    # port numbers no packet header could carry.
+    assert host.allocate_port() == EPHEMERAL_PORT_MIN
+
+
+def test_allocate_port_skips_bound_ports_and_raises_on_exhaustion() -> None:
+    simulator = Simulator()
+    topology = _fattree(simulator)
+    host = topology.node("host-0-0-0")
+    host.bind(EPHEMERAL_PORT_MIN, object())
+    host._next_ephemeral_port = EPHEMERAL_PORT_MAX
+    assert host.allocate_port() == EPHEMERAL_PORT_MAX
+    # 49152 is bound, so the wrap lands on 49153.
+    assert host.allocate_port() == EPHEMERAL_PORT_MIN + 1
+
+    for port in range(EPHEMERAL_PORT_MIN, EPHEMERAL_PORT_MAX + 1):
+        if host.endpoint_for(port) is None:
+            host.bind(port, object())
+    with pytest.raises(RuntimeError, match="exhausted the ephemeral port range"):
+        host.allocate_port()
+
+
+def test_send_via_rejects_out_of_range_interface_index() -> None:
+    simulator = Simulator()
+    topology = _fattree(simulator)
+    host = topology.node("host-0-0-0")
+    packet = Packet(flow_id=1, src=host.address, dst=2, src_port=1, dst_port=2,
+                    flags=FLAG_DATA, payload_size=1000)
+    try:
+        # Regression: a stale pin used to be silently aliased onto interface
+        # ``index % len(interfaces)`` — an arbitrary, wrong uplink.
+        with pytest.raises(ValueError, match="out of range"):
+            host.send_via(packet, 1)
+        with pytest.raises(ValueError, match="out of range"):
+            host.send_via(packet, -1)
+    finally:
+        release_packet(packet)
+
+
+def test_fullmesh_never_pins_a_subflow_to_a_dead_or_missing_interface() -> None:
+    # The misconfiguration that motivated the send_via fix: after a host
+    # migration the old interface (index 0) is permanently down, and a
+    # fullmesh mesh built from the raw interface count would pin subflows
+    # to it (or, worse, past the end of the table).
+    simulator = Simulator()
+    topology = _fattree(simulator)
+    topology.migrate_host("host-0-0-0", "edge-0-1")
+    host = topology.node("host-0-0-0")
+    assert [iface.up for iface in host.interfaces] == [False, True]
+
+    from repro.transport.path_manager import make_path_manager
+
+    connection = MptcpConnection(
+        simulator, host, topology.node("host-1-0-0").address, 5001, 100_000,
+        num_subflows=4, flow_id=1, config=TcpConfig(mss=1000),
+        path_manager=make_path_manager("fullmesh"),
+    )
+    pins = [subflow.egress_interface for subflow in connection.subflows]
+    # Only the live interface is meshed over, and the pin is in range.
+    assert pins == [1]
+
+
+# ---------------------------------------------------------------------------
+# Transport: subflow re-establishment across a re-addressing migration
+# ---------------------------------------------------------------------------
+
+
+def test_mptcp_reestablishes_subflows_to_the_peers_new_address() -> None:
+    simulator = Simulator()
+    topology = _fattree(simulator)
+    sink = RecordingTraceSink()
+    source = topology.node("host-1-0-0")
+    destination = topology.node("host-0-0-0")
+    old_address = destination.address
+    size = 400_000
+    receiver = MptcpReceiver(
+        simulator, destination, local_port=5001, flow_id=1, expected_bytes=size
+    )
+    connection = MptcpConnection(
+        simulator, source, old_address, 5001, size,
+        num_subflows=2, flow_id=1, config=TcpConfig(mss=1000, initial_cwnd_segments=2),
+        address_resolver=topology.current_address_of, trace=sink,
+    )
+    original_ids = {subflow.subflow_id for subflow in connection.subflows}
+    simulator.schedule_at(
+        0.02,
+        partial(
+            topology.migrate_host, "host-0-0-0", "edge-1-0", new_address=_NEW_ADDRESS
+        ),
+    )
+    connection.start()
+    simulator.run(until=3.0)
+
+    assert receiver.complete
+    assert connection.complete
+    assert connection.destination == _NEW_ADDRESS
+    # The break was detected and traced, and fresh subflows (new ids) were
+    # established towards the new address; the originals were killed.
+    readdress = sink.by_name["peer_readdressed"]
+    assert len(readdress) == 1
+    assert readdress[0].data["old"] == old_address
+    assert readdress[0].data["new"] == _NEW_ADDRESS
+    by_id = {subflow.subflow_id: subflow for subflow in connection.subflows}
+    new_ids = set(by_id) - original_ids
+    assert new_ids
+    assert all(by_id[i].complete for i in original_ids)
+    assert any(by_id[i].established for i in new_ids)
+
+
+# ---------------------------------------------------------------------------
+# Experiment-level acceptance: the handover contrast the paper predicts
+# ---------------------------------------------------------------------------
+
+
+def _handover_config(protocol: str, subflows: int, **fault_kwargs) -> ExperimentConfig:
+    return ExperimentConfig(
+        fattree_k=4,
+        hosts_per_edge=2,
+        link_rate_bps=megabits_per_second(100),
+        link_delay_s=microseconds(20),
+        protocol=protocol,
+        num_subflows=subflows,
+        arrival_window_s=0.05,
+        drain_time_s=1.2,
+        seed=7,
+        fault_schedule=(
+            host_migration(0.02, "host-0-0-0", "edge-0-1", **fault_kwargs),
+        ),
+    )
+
+
+def _single_flow(protocol: str, subflows: int) -> Workload:
+    return Workload(flows=[
+        FlowSpec(flow_id=1, source="host-1-0-0", destination="host-0-0-0",
+                 size_bytes=500_000, start_time=0.0, protocol=protocol,
+                 num_subflows=subflows)
+    ])
+
+
+def _handover_record(protocol: str, subflows: int, **fault_kwargs):
+    result = run_experiment(
+        _handover_config(protocol, subflows, **fault_kwargs),
+        workload=_single_flow(protocol, subflows),
+    )
+    return result.metrics.flows[0]
+
+
+def test_mmptcp_completes_across_readdressing_migration_while_tcp_black_holes() -> None:
+    kwargs = dict(downtime_s=0.01, new_address=_NEW_ADDRESS)
+    tcp = _handover_record(PROTOCOL_TCP, 1, **kwargs)
+    mmptcp = _handover_record(PROTOCOL_MMPTCP, 4, **kwargs)
+    mptcp = _handover_record(PROTOCOL_MPTCP, 4, **kwargs)
+
+    # Single-path TCP keeps retransmitting towards the dead address: at
+    # least one RTO-scale stall, and the transfer never finishes.
+    assert not tcp.completed
+    assert tcp.rto_events >= 1
+    # The multipath transports resolve the new address and re-establish.
+    assert mmptcp.completed
+    assert mptcp.completed
+    assert mmptcp.bytes_received == mptcp.bytes_received == 500_000
+
+
+def test_address_preserving_migration_costs_tcp_an_rto_scale_stall() -> None:
+    # The blackout outlasts the 200 ms min RTO, so fast retransmit cannot
+    # hide it: the sender has to sit through at least one full timeout.
+    kwargs = dict(downtime_s=0.25)
+    tcp = _handover_record(PROTOCOL_TCP, 1, **kwargs)
+    mmptcp = _handover_record(PROTOCOL_MMPTCP, 4, **kwargs)
+    # With its address preserved the host comes back routable, so TCP does
+    # eventually recover — but only after riding out at least one RTO.
+    assert tcp.completed
+    assert tcp.rto_events >= 1
+    assert mmptcp.completed
+
+
+# ---------------------------------------------------------------------------
+# Scenario determinism and store keys
+# ---------------------------------------------------------------------------
+
+_MOBILITY_SCENARIOS = ("vm-migration", "vip-failover", "rolling-drain")
+
+
+def _mobility_base_config():
+    return tiny_config(
+        hosts_per_edge=1,
+        arrival_window_s=0.05,
+        drain_time_s=0.8,
+        max_short_flows=4,
+        long_flow_size_bytes=300_000,
+    )
+
+
+def test_mobility_matrix_parallel_run_matches_serial_byte_for_byte() -> None:
+    protocols = (PROTOCOL_TCP, PROTOCOL_MMPTCP)
+    serial = ScenarioMatrixRunner(_mobility_base_config(), workers=1).run(
+        _MOBILITY_SCENARIOS, protocols
+    )
+    parallel = ScenarioMatrixRunner(_mobility_base_config(), workers=2).run(
+        _MOBILITY_SCENARIOS, protocols
+    )
+    assert matrix_rows(serial) == matrix_rows(parallel)
+    # Every cell of the mobility matrix must actually finish its flows.
+    for row in matrix_rows(serial):
+        assert row["completion_rate"] == 1.0, row
+
+
+def test_mobility_scenarios_derive_distinct_store_keys() -> None:
+    base = tiny_config()
+    keys = {"<baseline>": run_key(base)}
+    for name in _MOBILITY_SCENARIOS:
+        keys[name] = run_key(get_scenario(name).apply_to(base))
+    assert len(set(keys.values())) == len(keys), keys

@@ -13,12 +13,13 @@ Two invariants the fault-injection subsystem must uphold:
 
 from __future__ import annotations
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.runner import run_experiment
-from repro.net.faults import FaultEvent, LINK_DOWN, LINK_UP
+from repro.net.faults import DEGRADE, FaultEvent, FaultInjector, LINK_DOWN, LINK_UP, RESTORE
 from repro.net.packet import Packet
 from repro.sim.engine import Simulator
 from repro.topology.fattree import FatTreeParams, FatTreeTopology
@@ -122,3 +123,67 @@ def test_flows_complete_under_any_single_link_failure(link, down_time, recovery_
         f"flows {incomplete} did not complete with {link} down at {down_time}"
         f" (recovery={recovery_delay})"
     )
+
+# ---------------------------------------------------------------------------
+# Idempotent application: any random schedule of the four link verbs leaves
+# the link in the state a naive last-writer-wins model predicts.
+# ---------------------------------------------------------------------------
+
+
+@given(
+    steps=st.lists(
+        st.tuples(
+            st.sampled_from([LINK_DOWN, LINK_UP, DEGRADE, RESTORE]),
+            st.floats(min_value=0.1, max_value=0.9, allow_nan=False),
+        ),
+        max_size=12,
+    )
+)
+@settings(max_examples=40, deadline=None)
+def test_random_link_schedules_apply_idempotently(steps) -> None:
+    """Redundant events (up on up, orphan restore, down on down) are no-ops.
+
+    The injector's final link state must match a trivial reference model —
+    so ``link_up`` on an up link cannot, e.g., re-add a graph edge that was
+    never removed, and ``restore`` without a ``degrade`` cannot perturb the
+    rate.  Every scheduled event still counts in ``applied_events``.
+    """
+    simulator = Simulator()
+    topology = FatTreeTopology(simulator, FatTreeParams(k=4, hosts_per_edge=1))
+    iface_ab, iface_ba = topology.interfaces_between("core-0", "agg-0-0")
+    original = iface_ab.rate_bps
+
+    schedule = tuple(
+        FaultEvent(
+            time_s=0.01 * (index + 1),
+            kind=kind,
+            node_a="core-0",
+            node_b="agg-0-0",
+            factor=factor if kind == DEGRADE else 1.0,
+        )
+        for index, (kind, factor) in enumerate(steps)
+    )
+    injector = FaultInjector(simulator, topology, schedule)
+    injector.arm()
+    simulator.run(until=0.01 * (len(steps) + 1))
+
+    # Reference model: last up/down verb wins; degrade always scales from
+    # the original rate; restore clears any degradation.
+    expected_up = True
+    degraded_factor = None
+    for kind, factor in steps:
+        if kind == LINK_DOWN:
+            expected_up = False
+        elif kind == LINK_UP:
+            expected_up = True
+        elif kind == DEGRADE:
+            degraded_factor = factor
+        else:
+            degraded_factor = None
+    expected_rate = original * (degraded_factor if degraded_factor is not None else 1.0)
+
+    assert iface_ab.up == expected_up and iface_ba.up == expected_up
+    assert topology.graph.has_edge("core-0", "agg-0-0") == expected_up
+    assert iface_ab.rate_bps == pytest.approx(expected_rate)
+    assert iface_ba.rate_bps == pytest.approx(expected_rate)
+    assert injector.applied_events == len(schedule)

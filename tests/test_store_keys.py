@@ -27,7 +27,7 @@ from repro.store import run_key, run_key_for_spec, workload_recipe
 #: The default tiny config's key, pinned.  If this changes, every existing
 #: store silently turns into a full miss — bump STORE_SCHEMA_VERSION when
 #: changing key derivation deliberately, and regenerate this literal.
-_TINY_CONFIG_KEY = "1f3266681ae811b1f3190d5356622eb79b8e4dd383645123a9feaf8d20264da9"
+_TINY_CONFIG_KEY = "4c16ba0d1409c2fe835317c2ead21d6ab7d7d75fe0f7aa777e049cbdd10bd68e"
 
 #: One valid alternate value per ExperimentConfig field.  The completeness
 #: test below fails when a new config field is added without extending this
