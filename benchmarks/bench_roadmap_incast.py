@@ -90,7 +90,10 @@ def test_roadmap_incast_burst_tolerance(benchmark) -> None:
             f"{summary.p99:.1f}",
             f"{100 * metrics.rto_incidence():.1f}%",
         ])
-    print(f"\nRoadmap — incast: {FAN_IN} senders, {RESPONSE_BYTES // 1000} KB responses, one receiver")
+    print(
+        f"\nRoadmap — incast: {FAN_IN} senders, "
+        f"{RESPONSE_BYTES // 1000} KB responses, one receiver"
+    )
     print(
         render_table(
             ["configuration", "completed", "mean FCT (ms)", "p99 FCT (ms)", "RTO incidence"],

@@ -16,7 +16,7 @@ from __future__ import annotations
 import random
 
 from repro.experiments import ExperimentConfig
-from repro.experiments.runner import build_topology, create_flow, _record_for
+from repro.experiments.runner import _record_for, build_topology, create_flow
 from repro.metrics import ExperimentMetrics, render_table
 from repro.sim import Simulator
 from repro.sim.randomness import RandomStreams

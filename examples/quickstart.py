@@ -36,7 +36,9 @@ def main() -> None:
     flow_bytes = 1_000_000
     receiver = MmptcpReceiver(
         simulator, destination, local_port=5001, expected_bytes=flow_bytes,
-        on_complete=lambda r: print(f"  receiver assembled all bytes at t={r.completion_time:.4f} s"),
+        on_complete=lambda r: print(
+            f"  receiver assembled all bytes at t={r.completion_time:.4f} s"
+        ),
     )
     connection = MmptcpConnection(
         simulator,
@@ -67,7 +69,10 @@ def main() -> None:
     print(f"Scattered packets    : {connection.scatter_subflow.scattered_packets}")
     print("Per-subflow share of the byte stream:")
     for subflow in connection.subflows:
-        label = "scatter" if subflow is connection.scatter_subflow else f"subflow {subflow.subflow_id}"
+        if subflow is connection.scatter_subflow:
+            label = "scatter"
+        else:
+            label = f"subflow {subflow.subflow_id}"
         print(f"  {label:10s} {subflow.allocated_bytes:8d} bytes "
               f"({subflow.stats.data_packets_sent} packets)")
     print(f"Retransmissions      : {stats.retransmitted_packets} packets, "

@@ -1,0 +1,57 @@
+"""Static analysis: an AST-based linter for the repository's invariants.
+
+The ROADMAP's standing contracts — byte-identical determinism across
+``--workers``, the :func:`repro.metrics.export.dumps_deterministic` JSON
+policy, linear packet-pool ownership, store keys that never hash execution
+details, and the timer-wheel sequence discipline — are enforced at runtime
+by golden traces and property tests.  This package enforces them *statically*
+so a violation is caught at review time on every path, not just the
+exercised ones.
+
+Run it as ``repro-mmptcp lint [paths...]`` or
+``python -m repro.analysis.lint [paths...]``.  Findings can be silenced per
+line with a justified ``# repro: allow[rule-name]`` comment; naming an
+unknown rule is itself an error, so suppressions cannot rot silently.
+"""
+
+# Importing the rule modules registers every rule with the core registry.
+from repro.analysis.lint import (
+    rules_determinism,
+    rules_json,
+    rules_pool,
+    rules_store,
+    rules_timers,
+)
+from repro.analysis.lint.core import (
+    LintReport,
+    LintRule,
+    ModuleContext,
+    Violation,
+    all_rule_names,
+    iter_python_files,
+    lint_paths,
+    registered_rules,
+)
+from repro.analysis.lint.report import (
+    EXIT_CLEAN,
+    EXIT_USAGE,
+    EXIT_VIOLATIONS,
+    render_human,
+    render_json,
+)
+
+__all__ = [
+    "EXIT_CLEAN",
+    "EXIT_USAGE",
+    "EXIT_VIOLATIONS",
+    "LintReport",
+    "LintRule",
+    "ModuleContext",
+    "Violation",
+    "all_rule_names",
+    "iter_python_files",
+    "lint_paths",
+    "registered_rules",
+    "render_human",
+    "render_json",
+]

@@ -1,0 +1,318 @@
+"""Linter core: module contexts, the rule registry, and the lint driver.
+
+Every rule sees a :class:`ModuleContext` — the parsed AST plus the
+book-keeping each check needs (repo-relative path, package-relative path,
+import alias maps) — and yields :class:`Violation` records.  The driver in
+:func:`lint_paths` parses each file once, runs every selected rule over it,
+and applies the per-line ``# repro: allow[rule]`` suppressions collected by
+:mod:`repro.analysis.lint.suppress`.
+
+Everything here is deterministic by construction: files are visited in
+sorted order and violations are reported in ``(path, line, column, rule)``
+order, so two runs over the same tree always produce the same bytes.
+"""
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path, PurePosixPath
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.analysis.lint.suppress import parse_suppressions
+
+#: Rule name used for files that cannot be parsed at all.
+PARSE_ERROR_RULE = "parse-error"
+
+#: Rule name used when a suppression comment names an unknown rule.
+UNKNOWN_SUPPRESSION_RULE = "unknown-suppression"
+
+#: Names reserved by the driver itself; real rules cannot claim them and
+#: suppression comments cannot silence them (a broken suppression must not
+#: be able to hide itself).
+META_RULES = (PARSE_ERROR_RULE, UNKNOWN_SUPPRESSION_RULE)
+
+
+@dataclass(frozen=True, order=True)
+class Violation:
+    """One finding: ``path:line:col`` plus the rule name and message."""
+
+    path: str
+    line: int
+    column: int
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        """The one-line human form, ``path:line:col: rule: message``."""
+        return f"{self.path}:{self.line}:{self.column}: {self.rule}: {self.message}"
+
+
+@dataclass(frozen=True)
+class ModuleContext:
+    """Everything a rule may inspect about one parsed module."""
+
+    #: Path as given/resolved on disk.
+    path: Path
+    #: Path relative to the lint root, in posix form (display + scoping).
+    relpath: str
+    #: Path from the ``repro`` package anchor (``repro/sim/engine.py``), or
+    #: the relpath unchanged when the file is not inside the package (tests,
+    #: scripts).  Rules scope themselves with :meth:`in_package`.
+    package_path: str
+    tree: ast.Module
+    #: ``import x as y`` aliases: local name -> imported module dotted path.
+    module_aliases: Dict[str, str]
+    #: ``from m import x as y`` aliases: local name -> ``m.x`` dotted path.
+    member_aliases: Dict[str, str]
+
+    def in_package(self, prefix: str) -> bool:
+        """True when this module lives at/under ``prefix`` inside ``repro``."""
+        return self.package_path == prefix or self.package_path.startswith(prefix + "/")
+
+    def resolve_call(self, func: ast.AST) -> Optional[str]:
+        """The canonical dotted name a call target resolves to, if known.
+
+        ``_wallclock.monotonic`` resolves to ``time.monotonic`` under
+        ``import time as _wallclock``; ``dumps`` resolves to ``json.dumps``
+        under ``from json import dumps``.  Locally defined names and
+        attribute chains rooted in non-import objects resolve to ``None``.
+        """
+        parts: List[str] = []
+        node = func
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        base = node.id
+        if base in self.module_aliases:
+            root = self.module_aliases[base]
+        elif base in self.member_aliases:
+            root = self.member_aliases[base]
+        elif not parts:
+            # A bare name that was never imported: a builtin or a local.
+            return base
+        else:
+            return None
+        return ".".join([root, *reversed(parts)]) if parts else root
+
+
+class LintRule:
+    """Base class for invariant checks.
+
+    Subclasses set :attr:`name`/:attr:`description`, then implement
+    :meth:`violations`; registration happens via :func:`register`.
+    """
+
+    #: Kebab-case rule identifier, used in reports and suppressions.
+    name: str = ""
+    #: One-line summary shown by ``--list-rules`` and the README catalogue.
+    description: str = ""
+
+    def violations(self, ctx: ModuleContext) -> Iterator[Violation]:
+        raise NotImplementedError
+
+    def violation(self, ctx: ModuleContext, node: ast.AST, message: str) -> Violation:
+        """A :class:`Violation` anchored at ``node``'s source location."""
+        return Violation(
+            path=ctx.relpath,
+            line=getattr(node, "lineno", 1),
+            column=getattr(node, "col_offset", 0) + 1,
+            rule=self.name,
+            message=message,
+        )
+
+
+#: The global rule registry, populated at import time by the rule modules.
+_REGISTRY: Dict[str, LintRule] = {}
+
+
+def register(rule_class: type) -> type:
+    """Class decorator adding one rule instance to the registry."""
+    rule = rule_class()
+    if not rule.name or rule.name in META_RULES:
+        raise ValueError(f"rule {rule_class.__name__} has a reserved or empty name")
+    if rule.name in _REGISTRY:
+        raise ValueError(f"duplicate rule name {rule.name!r}")
+    _REGISTRY[rule.name] = rule
+    return rule_class
+
+
+def registered_rules(names: Optional[Sequence[str]] = None) -> Tuple[LintRule, ...]:
+    """The selected rules in name order (all of them when ``names`` is None).
+
+    Raises ``KeyError`` with a one-line message for an unknown rule name, so
+    the CLI can turn it into an exit-2 diagnostic.
+    """
+    if names is None:
+        return tuple(_REGISTRY[name] for name in sorted(_REGISTRY))
+    unknown = sorted(set(names) - set(_REGISTRY))
+    if unknown:
+        raise KeyError(
+            f"unknown lint rule(s) {', '.join(unknown)}; "
+            f"known rules: {', '.join(sorted(_REGISTRY))}"
+        )
+    return tuple(_REGISTRY[name] for name in sorted(set(names)))
+
+
+def all_rule_names() -> Tuple[str, ...]:
+    """Every registered rule name, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+@dataclass(frozen=True)
+class LintReport:
+    """The outcome of one lint run."""
+
+    violations: Tuple[Violation, ...]
+    files_checked: int
+    suppressed: int
+    rules: Tuple[str, ...] = field(default_factory=tuple)
+
+    @property
+    def clean(self) -> bool:
+        return not self.violations
+
+
+def iter_python_files(paths: Sequence[Path]) -> List[Path]:
+    """Expand files/directories into a sorted, de-duplicated ``.py`` list.
+
+    Hidden directories and ``__pycache__`` are skipped.  A named file is
+    taken as-is (whatever its suffix); a missing path raises ``FileNotFoundError``.
+    """
+    collected = set()
+    for path in paths:
+        path = Path(path)
+        if path.is_dir():
+            for candidate in path.rglob("*.py"):
+                parts = candidate.relative_to(path).parts
+                if any(part.startswith(".") or part == "__pycache__" for part in parts):
+                    continue
+                collected.add(candidate.resolve())
+        elif path.is_file():
+            collected.add(path.resolve())
+        else:
+            raise FileNotFoundError(f"no such file or directory: {path}")
+    return sorted(collected, key=lambda item: item.as_posix())
+
+
+def _relative_path(path: Path, root: Path) -> str:
+    try:
+        return PurePosixPath(path.relative_to(root)).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def _package_path(relpath: str) -> str:
+    """The path from the ``repro`` anchor, for rule scoping.
+
+    ``src/repro/sim/engine.py`` -> ``repro/sim/engine.py``; paths outside
+    the package (``tests/test_x.py``) pass through unchanged, so package
+    scopes simply never match them.
+    """
+    parts = PurePosixPath(relpath).parts
+    if "repro" in parts:
+        return "/".join(parts[parts.index("repro"):])
+    return relpath
+
+
+def _import_aliases(tree: ast.Module) -> Tuple[Dict[str, str], Dict[str, str]]:
+    module_aliases: Dict[str, str] = {}
+    member_aliases: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.split(".")[0]
+                # `import a.b` binds `a`; `import a.b as c` binds `c` -> a.b.
+                module_aliases[local] = alias.name if alias.asname else alias.name.split(".")[0]
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname or alias.name
+                member_aliases[local] = f"{node.module}.{alias.name}"
+    return module_aliases, member_aliases
+
+
+def _lint_file(
+    path: Path, root: Path, rules: Sequence[LintRule]
+) -> Tuple[List[Violation], int]:
+    """All unsuppressed violations for one file, plus the suppressed count."""
+    relpath = _relative_path(path, root)
+    source = path.read_text(encoding="utf-8")
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        return (
+            [
+                Violation(
+                    path=relpath,
+                    line=exc.lineno or 1,
+                    column=(exc.offset or 0) or 1,
+                    rule=PARSE_ERROR_RULE,
+                    message=f"file does not parse: {exc.msg}",
+                )
+            ],
+            0,
+        )
+
+    module_aliases, member_aliases = _import_aliases(tree)
+    ctx = ModuleContext(
+        path=path,
+        relpath=relpath,
+        package_path=_package_path(relpath),
+        tree=tree,
+        module_aliases=module_aliases,
+        member_aliases=member_aliases,
+    )
+
+    suppressions, bad_lines = parse_suppressions(source, known_rules=all_rule_names())
+    violations: List[Violation] = []
+    suppressed = 0
+    for rule in rules:
+        for violation in rule.violations(ctx):
+            if rule.name in suppressions.get(violation.line, frozenset()):
+                suppressed += 1
+            else:
+                violations.append(violation)
+    for line, names in bad_lines:
+        violations.append(
+            Violation(
+                path=relpath,
+                line=line,
+                column=1,
+                rule=UNKNOWN_SUPPRESSION_RULE,
+                message=(
+                    f"suppression names unknown rule(s) {', '.join(sorted(names))}; "
+                    f"known rules: {', '.join(all_rule_names())}"
+                ),
+            )
+        )
+    return violations, suppressed
+
+
+def lint_paths(
+    paths: Iterable[Path],
+    rules: Optional[Sequence[str]] = None,
+    root: Optional[Path] = None,
+) -> LintReport:
+    """Lint every Python file under ``paths`` and return the sorted report.
+
+    ``root`` anchors the repo-relative paths used for display and rule
+    scoping; it defaults to the current working directory, which is the repo
+    root for both CI invocations (``repro-mmptcp lint src tests``).
+    """
+    root = Path(root) if root is not None else Path.cwd()
+    selected = registered_rules(rules)
+    files = iter_python_files([Path(p) for p in paths])
+    violations: List[Violation] = []
+    suppressed = 0
+    for path in files:
+        found, skipped = _lint_file(path, root, selected)
+        violations.extend(found)
+        suppressed += skipped
+    return LintReport(
+        violations=tuple(sorted(violations)),
+        files_checked=len(files),
+        suppressed=suppressed,
+        rules=tuple(rule.name for rule in selected),
+    )

@@ -1,0 +1,64 @@
+"""Lint report rendering: human one-liners and deterministic JSON.
+
+The JSON form goes through :func:`repro.metrics.export.dumps_deterministic`
+— the same policy every other artifact in the repository uses — so two lint
+runs over the same tree produce byte-identical reports that CI can diff or
+archive.
+"""
+
+from typing import Dict, List
+
+from repro.analysis.lint.core import LintReport
+from repro.metrics.export import dumps_deterministic
+
+#: Exit codes: clean tree / at least one violation / usage or I/O error.
+EXIT_CLEAN = 0
+EXIT_VIOLATIONS = 1
+EXIT_USAGE = 2
+
+#: Schema version of the JSON report payload.
+REPORT_SCHEMA = 1
+
+
+def render_human(report: LintReport) -> str:
+    """One line per violation plus a trailing summary line."""
+    lines = [violation.render() for violation in report.violations]
+    summary = (
+        f"{len(report.violations)} violation(s), {report.suppressed} suppressed, "
+        f"{report.files_checked} file(s) checked"
+    )
+    if report.clean:
+        summary = (
+            f"clean: 0 violations, {report.suppressed} suppressed, "
+            f"{report.files_checked} file(s) checked"
+        )
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(report: LintReport) -> str:
+    """The deterministic JSON report (sorted keys, trailing newline)."""
+    violations: List[Dict[str, object]] = [
+        {
+            "column": violation.column,
+            "file": violation.path,
+            "line": violation.line,
+            "message": violation.message,
+            "rule": violation.rule,
+        }
+        for violation in report.violations
+    ]
+    payload = {
+        "clean": report.clean,
+        "files_checked": report.files_checked,
+        "rules": list(report.rules),
+        "schema": REPORT_SCHEMA,
+        "suppressed": report.suppressed,
+        "violations": violations,
+    }
+    return dumps_deterministic(payload)
+
+
+def exit_code(report: LintReport) -> int:
+    """The process exit code a lint run maps to."""
+    return EXIT_CLEAN if report.clean else EXIT_VIOLATIONS

@@ -1,0 +1,46 @@
+"""Rule: all JSON emission goes through the deterministic dumpers.
+
+The JSON policy (ROADMAP "JSON policy") is that every artifact is written
+via :func:`repro.metrics.export.dumps_deterministic` (indented artifacts)
+or :func:`repro.store.canonical.canonical_dumps` (compact store/key form).
+Both pin ``sort_keys``/``allow_nan=False``/float ``repr``, which is what
+makes artifacts byte-comparable across runs, platforms and worker counts.
+A raw ``json.dumps`` call silently forfeits all of that, so outside the two
+policy modules it is a violation — tests included, because tests write
+golden inputs and tampered fixtures that must opt out *explicitly*.
+"""
+
+import ast
+from typing import Iterator
+
+from repro.analysis.lint.core import LintRule, ModuleContext, Violation, register
+
+#: The two modules that define the policy and may therefore call json.dumps.
+ALLOWED_FILES = frozenset({"repro/metrics/export.py", "repro/store/canonical.py"})
+
+_FORBIDDEN = frozenset({"json.dumps", "json.dump"})
+
+
+@register
+class NoRawJson(LintRule):
+    name = "no-raw-json"
+    description = (
+        "json.dumps/json.dump outside metrics/export.py and store/canonical.py "
+        "bypass the deterministic JSON policy"
+    )
+
+    def violations(self, ctx: ModuleContext) -> Iterator[Violation]:
+        if ctx.package_path in ALLOWED_FILES:
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            resolved = ctx.resolve_call(node.func)
+            if resolved in _FORBIDDEN:
+                yield self.violation(
+                    ctx,
+                    node,
+                    f"{resolved} bypasses the deterministic JSON policy; use "
+                    "repro.metrics.export.dumps_deterministic (artifacts) or "
+                    "repro.store.canonical.canonical_dumps (store keys)",
+                )

@@ -1,0 +1,111 @@
+"""Rule: ``on_packet`` must not retain its packet argument.
+
+Packet-pool ownership is linear (ROADMAP "Packet pool"): transports acquire
+packets, the network releases every consumed packet after endpoint dispatch,
+and an endpoint's ``on_packet`` may *read* its argument but never keep a
+reference to it — the object is poisoned and recycled the moment the handler
+returns.  A retained reference is a use-after-free bug that only manifests
+under pool debugging or as silent field corruption.
+
+The check is intra-procedural by design: inside any ``def on_packet(self,
+packet, ...)`` body in ``repro/``, the bare packet name must not
+
+* be assigned to an attribute or subscript target (``self.last = packet``,
+  ``self.buffer[k] = packet``), directly or inside a tuple/list/set/dict
+  display, nor
+* be passed to a retaining container method (``append``/``add``/
+  ``appendleft``/``insert``/``extend``/``put``/``push``) or ``setattr``.
+
+Copying fields out (``self.seq = packet.seq``) and passing the packet to
+helper functions remain legal; helpers that retain are caught at runtime by
+pool poisoning.  Tests are exempt — they retain packets on purpose to
+assert the poisoning machinery itself.
+"""
+
+import ast
+from typing import Iterator
+
+from repro.analysis.lint.core import LintRule, ModuleContext, Violation, register
+
+_RETAINING_METHODS = frozenset(
+    {"append", "appendleft", "add", "insert", "extend", "put", "push", "setdefault"}
+)
+
+
+def _leaks_name(node: ast.AST, name: str) -> bool:
+    """True when ``node`` evaluates to (a container displaying) the bare name."""
+    if isinstance(node, ast.Name):
+        return node.id == name
+    if isinstance(node, ast.Starred):
+        return _leaks_name(node.value, name)
+    if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+        return any(_leaks_name(element, name) for element in node.elts)
+    if isinstance(node, ast.Dict):
+        return any(
+            _leaks_name(part, name) for part in [*node.keys, *node.values] if part is not None
+        )
+    return False
+
+
+@register
+class PoolOwnership(LintRule):
+    name = "pool-ownership"
+    description = (
+        "on_packet bodies must not retain the packet argument (linear pool "
+        "ownership: the network releases it after dispatch)"
+    )
+
+    def violations(self, ctx: ModuleContext) -> Iterator[Violation]:
+        if not ctx.in_package("repro"):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if node.name != "on_packet":
+                continue
+            positional = [*node.args.posonlyargs, *node.args.args]
+            if len(positional) < 2:
+                continue
+            packet_name = positional[1].arg
+            yield from self._check_body(ctx, node, packet_name)
+
+    def _check_body(
+        self, ctx: ModuleContext, func: ast.AST, packet_name: str
+    ) -> Iterator[Violation]:
+        retain_msg = (
+            f"on_packet retains its packet argument {packet_name!r}; ownership is "
+            "linear (the network releases it after dispatch) — copy the fields "
+            "you need instead"
+        )
+        for node in ast.walk(func):
+            if isinstance(node, ast.Assign):
+                if _leaks_name(node.value, packet_name) and any(
+                    isinstance(target, (ast.Attribute, ast.Subscript))
+                    or (
+                        isinstance(target, (ast.Tuple, ast.List))
+                        and any(
+                            isinstance(element, (ast.Attribute, ast.Subscript))
+                            for element in target.elts
+                        )
+                    )
+                    for target in node.targets
+                ):
+                    yield self.violation(ctx, node, retain_msg)
+            elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+                if (
+                    node.value is not None
+                    and _leaks_name(node.value, packet_name)
+                    and isinstance(node.target, (ast.Attribute, ast.Subscript))
+                ):
+                    yield self.violation(ctx, node, retain_msg)
+            elif isinstance(node, ast.Call):
+                is_retaining_method = (
+                    isinstance(node.func, ast.Attribute)
+                    and node.func.attr in _RETAINING_METHODS
+                )
+                is_setattr = isinstance(node.func, ast.Name) and node.func.id == "setattr"
+                if not (is_retaining_method or is_setattr):
+                    continue
+                arguments = [*node.args, *[keyword.value for keyword in node.keywords]]
+                if any(_leaks_name(argument, packet_name) for argument in arguments):
+                    yield self.violation(ctx, node, retain_msg)

@@ -1,0 +1,110 @@
+"""Rule: ``repro/store/canonical.py`` stays a pure function of run input.
+
+The store's cache keys (ROADMAP "Store keys") hash the *run input* — config,
+seed, workload recipe, schema version — and deliberately exclude execution
+details, which is what lets a campaign resume across machines and
+``--workers`` values with zero duplicated simulation.  The key-derivation
+module must therefore never reference worker counts, wall clocks, process
+identity, or Python's randomised ``hash()``/``id()``.  This rule pins that
+contract to the file itself: an innocent-looking ``import os`` or a
+``workers`` parameter threaded into :func:`run_key` is flagged at review
+time, before it can silently fork the key space.
+"""
+
+import ast
+from typing import Iterator
+
+from repro.analysis.lint.core import LintRule, ModuleContext, Violation, register
+
+#: Modules whose very presence in canonical.py signals impurity.
+_FORBIDDEN_MODULES = frozenset(
+    {
+        "concurrent",
+        "datetime",
+        "getpass",
+        "multiprocessing",
+        "os",
+        "platform",
+        "random",
+        "secrets",
+        "socket",
+        "subprocess",
+        "sys",
+        "threading",
+        "time",
+        "uuid",
+    }
+)
+
+#: Builtins whose results differ across processes (hash randomisation, object
+#: identity) and must never leak into a key.
+_FORBIDDEN_BUILTINS = frozenset({"hash", "id"})
+
+
+def _is_workers_name(identifier: str) -> bool:
+    return identifier == "workers" or identifier.endswith("_workers")
+
+
+@register
+class StoreKeyPurity(LintRule):
+    name = "store-key-purity"
+    description = (
+        "store/canonical.py must not reference workers, wall-clock, process "
+        "state, or randomised hash()/id() — keys are pure functions of run input"
+    )
+
+    _SCOPE = "repro/store/canonical.py"
+
+    def violations(self, ctx: ModuleContext) -> Iterator[Violation]:
+        if ctx.package_path != self._SCOPE:
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.Import, ast.ImportFrom)):
+                yield from self._check_import(ctx, node)
+            elif isinstance(node, ast.Call):
+                resolved = ctx.resolve_call(node.func)
+                if resolved in _FORBIDDEN_BUILTINS:
+                    yield self.violation(
+                        ctx,
+                        node,
+                        f"builtin {resolved}() is process-dependent (hash "
+                        "randomisation / object identity); key material must go "
+                        "through sha256_hex over canonical JSON",
+                    )
+            elif isinstance(node, ast.Name) and _is_workers_name(node.id):
+                yield self._workers_violation(ctx, node, node.id)
+            elif isinstance(node, ast.Attribute) and _is_workers_name(node.attr):
+                yield self._workers_violation(ctx, node, node.attr)
+            elif isinstance(node, ast.arg) and _is_workers_name(node.arg):
+                yield self._workers_violation(ctx, node, node.arg)
+            elif (
+                isinstance(node, ast.keyword)
+                and node.arg is not None
+                and _is_workers_name(node.arg)
+            ):
+                yield self._workers_violation(ctx, node.value, node.arg)
+
+    def _workers_violation(
+        self, ctx: ModuleContext, node: ast.AST, identifier: str
+    ) -> Violation:
+        return self.violation(
+            ctx,
+            node,
+            f"{identifier!r} is an execution detail; run keys must never depend "
+            "on worker counts (that is what makes campaigns resumable across "
+            "machines)",
+        )
+
+    def _check_import(self, ctx: ModuleContext, node: ast.AST) -> Iterator[Violation]:
+        if isinstance(node, ast.Import):
+            modules = [alias.name for alias in node.names]
+        else:
+            modules = [node.module] if node.module else []
+        for module in modules:
+            if module.split(".")[0] in _FORBIDDEN_MODULES:
+                yield self.violation(
+                    ctx,
+                    node,
+                    f"importing {module!r} into the key-derivation module invites "
+                    "process state into store keys; keep canonical.py pure",
+                )

@@ -1,0 +1,74 @@
+"""Per-line ``# repro: allow[rule]`` suppression comments.
+
+A finding is silenced by putting the marker **on the violating line**::
+
+    return json.dumps(payload)  # repro: allow[no-raw-json] -- the canonical dumper
+
+or, when the line has no room, on a comment line of its own **immediately
+above** the violating line::
+
+    # repro: allow[no-raw-json] -- tampered fixture, non-canonical on purpose
+    path.write_text(json.dumps(artifact))
+
+Several rules may be allowed at once (``allow[rule-a,rule-b]``), and
+anything after the closing bracket is free-form justification — the
+convention is to always say *why* the exception is sound.  Suppressions are
+validated against the rule registry: naming an unknown rule is reported as
+an ``unknown-suppression`` violation rather than silently doing nothing.
+
+Comments are found with :mod:`tokenize`, not a regex over raw lines, so a
+marker inside a string literal is never mistaken for a suppression.
+"""
+
+import io
+import re
+import tokenize
+from typing import Dict, FrozenSet, List, Sequence, Tuple
+
+#: The marker grammar (hash, then ``repro: allow[name]`` or ``allow[a,b]``);
+#: whatever follows the bracket is justification text and is ignored here.
+_MARKER = re.compile(r"#\s*repro:\s*allow\[([^\]]*)\]")
+
+
+def parse_suppressions(
+    source: str, known_rules: Sequence[str]
+) -> Tuple[Dict[int, FrozenSet[str]], List[Tuple[int, FrozenSet[str]]]]:
+    """Extract suppressions from ``source``.
+
+    Returns ``(by_line, bad)`` where ``by_line`` maps a line number to the
+    frozenset of rule names allowed on that line, and ``bad`` lists
+    ``(line, unknown_names)`` pairs for markers naming unregistered rules
+    (including an empty ``allow[]``).  Unparsable files yield no
+    suppressions — the driver reports those as ``parse-error`` anyway.
+    """
+    by_line: Dict[int, FrozenSet[str]] = {}
+    bad: List[Tuple[int, FrozenSet[str]]] = []
+    known = set(known_rules)
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        return {}, []
+    source_lines = source.splitlines()
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        match = _MARKER.search(token.string)
+        if match is None:
+            continue
+        names = frozenset(name.strip() for name in match.group(1).split(",") if name.strip())
+        line = token.start[0]
+        # A marker on a comment-only line guards the line immediately below;
+        # a trailing marker guards its own line.
+        prefix = source_lines[line - 1][: token.start[1]] if line <= len(source_lines) else ""
+        if not prefix.strip():
+            line += 1
+        unknown = names - known
+        if not names:
+            bad.append((token.start[0], frozenset({"<empty>"})))
+            continue
+        if unknown:
+            bad.append((token.start[0], unknown))
+        good = names & known
+        if good:
+            by_line[line] = by_line.get(line, frozenset()) | good
+    return by_line, bad

@@ -25,7 +25,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, List, Mapping, Sequence, Tuple, Union
 
-from repro.experiments.config import ExperimentConfig, SCALES, scaled_config
+from repro.experiments.config import SCALES, ExperimentConfig, scaled_config
 from repro.scenarios.spec import tiny_config
 from repro.traffic.flowspec import ALL_PROTOCOLS
 
@@ -45,7 +45,9 @@ _SPEC_FIELDS = (
 )
 
 
-def _pairs(mapping: Union[Mapping[str, Any], Sequence[Tuple[str, Any]]]) -> Tuple[Tuple[str, Any], ...]:
+def _pairs(
+    mapping: Union[Mapping[str, Any], Sequence[Tuple[str, Any]]],
+) -> Tuple[Tuple[str, Any], ...]:
     """Normalise a dict (or pair sequence) to an order-preserving pair tuple."""
     if isinstance(mapping, Mapping):
         return tuple((str(key), value) for key, value in mapping.items())

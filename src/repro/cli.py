@@ -32,6 +32,24 @@ import sys
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence
 
+from repro.analysis.lint.cli import (
+    LintUsageError,
+    add_lint_arguments,
+    run_lint_command,
+)
+from repro.analysis.report import scenario_matrix_markdown
+from repro.campaigns import (
+    CAMPAIGN_SCALES,
+    CampaignIncompleteError,
+    CampaignSpec,
+    campaign_gc,
+    campaign_report,
+    campaign_rows,
+    campaign_status,
+    outcome_report,
+    params_label,
+    run_campaign,
+)
 from repro.experiments.coexistence import coexistence_rows, run_coexistence_experiment
 from repro.experiments.config import SCALES, ExperimentConfig, scaled_config
 from repro.experiments.deadline_study import deadline_rows, run_deadline_study
@@ -47,21 +65,7 @@ from repro.metrics.export import (
     write_series_csv,
     write_summary_json,
 )
-from repro.analysis.report import scenario_matrix_markdown
-from repro.campaigns import (
-    CAMPAIGN_SCALES,
-    CampaignIncompleteError,
-    CampaignSpec,
-    campaign_gc,
-    campaign_report,
-    campaign_rows,
-    campaign_status,
-    outcome_report,
-    params_label,
-    run_campaign,
-)
 from repro.metrics.reporting import render_table
-from repro.store import RunStore, StoreError
 from repro.scenarios import (
     DEFAULT_MATRIX_PROTOCOLS,
     DEFAULT_MATRIX_SCENARIOS,
@@ -72,6 +76,7 @@ from repro.scenarios import (
     tiny_config,
 )
 from repro.sim.units import megabits_per_second
+from repro.store import RunStore, StoreError
 from repro.traffic.flowspec import ALL_PROTOCOLS, PROTOCOL_MMPTCP, PROTOCOL_MPTCP
 from repro.transport.path_manager import path_manager_names
 from repro.transport.scheduler import scheduler_names
@@ -146,6 +151,18 @@ def _export_rows(rows: List[Dict[str, object]], export_dir: Optional[str], stem:
         return
     path = write_series_csv(rows, Path(export_dir) / f"{stem}.csv")
     print(f"wrote {path}")
+
+
+def _command_error(message: str) -> int:
+    """One-line diagnostic on stderr, exit code 2.
+
+    The uniform failure path for anticipated CLI errors — a bad ``--spec``
+    file, an unknown scenario, a corrupt store artifact, a missing lint
+    path — shared by the campaign and lint sub-commands so none of them
+    dumps a traceback at the user.
+    """
+    print(message, file=sys.stderr)
+    return 2
 
 
 def _rows_table(rows: List[Dict[str, object]]) -> str:
@@ -403,14 +420,11 @@ def _campaign_command(args: argparse.Namespace, body) -> int:
         store = RunStore(args.store)
         return body(spec, store)
     except CampaignIncompleteError as exc:
-        print(str(exc), file=sys.stderr)
-        return 2
+        return _command_error(str(exc))
     except KeyError as exc:
-        print(exc.args[0], file=sys.stderr)
-        return 2
+        return _command_error(exc.args[0])
     except (StoreError, OSError, ValueError) as exc:
-        print(f"campaign command failed: {exc}", file=sys.stderr)
-        return 2
+        return _command_error(f"campaign command failed: {exc}")
 
 
 def _campaign_summary_line(name: str, cells: int, hits: int, simulated: int, store: str) -> str:
@@ -496,6 +510,19 @@ def _cmd_campaign_gc(args: argparse.Namespace) -> int:
         return 0
 
     return _campaign_command(args, body)
+
+
+# ---------------------------------------------------------------------------
+# Lint command
+# ---------------------------------------------------------------------------
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    """Run the AST-based invariant linter (see :mod:`repro.analysis.lint`)."""
+    try:
+        return run_lint_command(args)
+    except LintUsageError as exc:
+        return _command_error(f"lint failed: {exc}")
 
 
 # ---------------------------------------------------------------------------
@@ -649,6 +676,16 @@ def build_parser() -> argparse.ArgumentParser:
                              help="protocol the delta columns compare against")
     _add_scenario_arguments(scen_matrix, workers=True)
     scen_matrix.set_defaults(handler=_cmd_scenarios_matrix)
+
+    lint = subparsers.add_parser(
+        "lint",
+        help="statically enforce the determinism/JSON/pool/store/timer invariants",
+        description="AST-based invariant linter; exits 0 on a clean tree, 1 on "
+        "violations, 2 on usage errors. Silence a finding with a justified "
+        "'# repro: allow[rule-name]' comment on (or directly above) its line.",
+    )
+    add_lint_arguments(lint)
+    lint.set_defaults(handler=_cmd_lint)
 
     campaign = subparsers.add_parser(
         "campaign",

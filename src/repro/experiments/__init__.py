@@ -17,6 +17,14 @@ from repro.experiments.deadline_study import (
     deadline_rows,
     run_deadline_study,
 )
+from repro.experiments.figure1 import (
+    FIGURE1A_SUBFLOW_COUNTS,
+    Figure1aRow,
+    figure1a_series,
+    figure1b_scatter,
+    figure1c_scatter,
+    scatter_points,
+)
 from repro.experiments.hotspot import (
     HotspotOutcome,
     hotspot_rows,
@@ -33,14 +41,6 @@ from repro.experiments.loadsweep import (
     load_sweep_rows,
     points_by_protocol,
     run_load_sweep,
-)
-from repro.experiments.figure1 import (
-    FIGURE1A_SUBFLOW_COUNTS,
-    Figure1aRow,
-    figure1a_series,
-    figure1b_scatter,
-    figure1c_scatter,
-    scatter_points,
 )
 from repro.experiments.parallel import (
     RunSpec,

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Sequence
 
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.runner import ExperimentResult, build_topology, run_experiment

@@ -27,7 +27,7 @@ from repro.sim.units import (
     microseconds,
     milliseconds,
 )
-from repro.traffic.flowspec import PROTOCOL_MMPTCP, PROTOCOL_MPTCP, PROTOCOL_TCP
+from repro.traffic.flowspec import PROTOCOL_MPTCP
 from repro.transport.path_manager import PATH_MANAGERS
 from repro.transport.scheduler import SCHEDULERS
 
@@ -143,7 +143,9 @@ class ExperimentConfig:
         """Total simulated time: arrivals plus drain."""
         return self.arrival_window_s + self.drain_time_s
 
-    def with_protocol(self, protocol: str, num_subflows: Optional[int] = None) -> "ExperimentConfig":
+    def with_protocol(
+        self, protocol: str, num_subflows: Optional[int] = None
+    ) -> "ExperimentConfig":
         """A copy of this config running a different protocol (same workload/seed)."""
         updates = {"protocol": protocol}
         if num_subflows is not None:

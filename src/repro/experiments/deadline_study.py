@@ -14,7 +14,7 @@ per protocol.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Sequence
 
 from repro.experiments.config import QUEUE_ECN, ExperimentConfig
 from repro.experiments.runner import ExperimentResult, build_topology, run_experiment

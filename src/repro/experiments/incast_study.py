@@ -12,7 +12,7 @@ statistics of the responses.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 from repro.experiments.config import (
     TOPOLOGY_DUALHOMED,

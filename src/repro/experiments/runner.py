@@ -156,7 +156,9 @@ def _queue_factory(config: ExperimentConfig) -> Callable:
     raise ValueError(f"unknown queue kind {config.queue_kind!r}")
 
 
-def build_workload(config: ExperimentConfig, topology: Topology, streams: RandomStreams) -> Workload:
+def build_workload(
+    config: ExperimentConfig, topology: Topology, streams: RandomStreams
+) -> Workload:
     """Materialise the short/long mixed workload for ``config``."""
     params = ShortLongWorkloadParams(
         long_flow_fraction=config.long_flow_fraction,
@@ -380,6 +382,9 @@ def run_experiment(
         trace: sink receiving the run's trace events (drops, fault events,
             ...); the default null sink costs nothing.
     """
+    # wallclock_s is a pure diagnostic: the store normalises it to 0.0 and no
+    # metric derives from it, so the real-clock read cannot perturb results.
+    # repro: allow[no-wallclock-or-global-random] -- diagnostic only
     wall_start = _wallclock.monotonic()
     simulator = Simulator()
     streams = RandomStreams(config.seed)
@@ -412,6 +417,7 @@ def run_experiment(
         config=config,
         metrics=metrics,
         events_processed=simulator.events_processed,
+        # repro: allow[no-wallclock-or-global-random] -- diagnostic only (above)
         wallclock_s=_wallclock.monotonic() - wall_start,
         workload_size=len(workload.flows),
     )

@@ -10,11 +10,6 @@ from repro.metrics.export import (
     write_summary_json,
 )
 from repro.metrics.records import FlowRecord
-from repro.metrics.timeseries import (
-    OccupancySummary,
-    QueueOccupancySampler,
-    QueueSample,
-)
 from repro.metrics.reporting import (
     comparison_table,
     format_milliseconds,
@@ -29,6 +24,11 @@ from repro.metrics.stats import (
     jains_fairness_index,
     percentile,
     summarize,
+)
+from repro.metrics.timeseries import (
+    OccupancySummary,
+    QueueOccupancySampler,
+    QueueSample,
 )
 
 __all__ = [

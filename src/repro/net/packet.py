@@ -195,7 +195,9 @@ class Packet:
     # Derived state
     # ------------------------------------------------------------------
 
-    def resize(self, *, payload_size: Optional[int] = None, header_size: Optional[int] = None) -> None:
+    def resize(
+        self, *, payload_size: Optional[int] = None, header_size: Optional[int] = None
+    ) -> None:
         """Change payload/header size, keeping the precomputed ``size`` in sync."""
         if payload_size is not None:
             self.payload_size = payload_size

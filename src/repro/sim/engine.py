@@ -237,6 +237,10 @@ class Simulator:
         self._running = True
         try:
             processed_this_run = 0
+            # The wallclock_limit escape hatch is the engine's one sanctioned
+            # real-clock read: it can only stop a run early (benchmarks use it
+            # as a safety net), never reorder or retime simulated events.
+            # repro: allow[no-wallclock-or-global-random] -- bounded-run safety net
             wall_start = _wallclock.monotonic() if wallclock_limit is not None else 0.0
 
             queue = self._queue
@@ -289,6 +293,7 @@ class Simulator:
                     if max_events is not None and processed_this_run >= max_events:
                         break
                     if wallclock_limit is not None and processed_this_run % 4096 == 0:
+                        # repro: allow[no-wallclock-or-global-random] -- see above
                         if _wallclock.monotonic() - wall_start > wallclock_limit:
                             break
         finally:

@@ -13,7 +13,7 @@ byte-wise.  It is normalised to ``0.0`` on the way in.
 from __future__ import annotations
 
 from dataclasses import fields
-from typing import Any, Dict, Optional
+from typing import Any, Dict
 
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.runner import ExperimentResult

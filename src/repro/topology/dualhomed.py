@@ -82,7 +82,11 @@ class DualHomedFatTreeTopology(Topology):
                     address = encode_fattree_address(pod, edge_index, host_index)
                     host = self.add_host(f"host-{pod}-{edge_index}-{host_index}", address)
                     self.connect_nodes(
-                        host, edge, params.effective_host_rate_bps, params.link_delay_s, queue_factory
+                        host,
+                        edge,
+                        params.effective_host_rate_bps,
+                        params.link_delay_s,
+                        queue_factory,
                     )
                     self.connect_nodes(
                         host,

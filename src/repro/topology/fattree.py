@@ -86,7 +86,9 @@ class FatTreeParams:
     @property
     def effective_host_rate_bps(self) -> float:
         """The host↔edge link rate."""
-        return self.host_link_rate_bps if self.host_link_rate_bps is not None else self.link_rate_bps
+        if self.host_link_rate_bps is not None:
+            return self.host_link_rate_bps
+        return self.link_rate_bps
 
     @property
     def num_pods(self) -> int:

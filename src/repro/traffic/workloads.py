@@ -16,7 +16,7 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.sim.units import kilobytes, megabytes
 from repro.traffic.arrivals import poisson_arrivals, synchronized_arrivals
-from repro.traffic.flowspec import PROTOCOL_MMPTCP, PROTOCOL_MPTCP, PROTOCOL_TCP, FlowSpec
+from repro.traffic.flowspec import PROTOCOL_TCP, FlowSpec
 from repro.traffic.matrices import hotspot_pairs, permutation_pairs
 
 

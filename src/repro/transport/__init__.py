@@ -1,6 +1,12 @@
 """Transport protocols: TCP NewReno, DCTCP and MPTCP (plus shared machinery)."""
 
 from repro.transport.base import Endpoint, SenderStats, TcpConfig
+from repro.transport.cc import (
+    CongestionController,
+    DctcpController,
+    LiaController,
+    NewRenoController,
+)
 from repro.transport.d2tcp import D2tcpController, D2tcpReceiver, D2tcpSender
 from repro.transport.dctcp import DctcpReceiver, DctcpSender
 from repro.transport.mptcp import MptcpConnection, MptcpReceiver, MptcpSubflow
@@ -13,12 +19,6 @@ from repro.transport.scheduler import (
 )
 from repro.transport.sequence import ReceiveBuffer
 from repro.transport.tcp import TcpSender
-from repro.transport.cc import (
-    CongestionController,
-    DctcpController,
-    LiaController,
-    NewRenoController,
-)
 
 __all__ = [
     "Endpoint",

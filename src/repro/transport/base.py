@@ -8,7 +8,7 @@ which the metrics layer later converts into flow records.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Optional
 
 from repro.net.host import Host

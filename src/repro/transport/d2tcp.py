@@ -28,7 +28,7 @@ inside ``on_packet``, never retaining the packet itself.
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Callable, Optional, TYPE_CHECKING
+from typing import TYPE_CHECKING, Callable, Optional
 
 from repro.net.host import Host
 from repro.sim.engine import Simulator

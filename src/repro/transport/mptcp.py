@@ -28,10 +28,9 @@ from repro.transport.base import Endpoint, SenderStats, TcpConfig
 from repro.transport.cc.base import LOSS_TIMEOUT
 from repro.transport.cc.lia import LiaController
 from repro.transport.path_manager import NdiffportsPathManager, PathManager
-from repro.transport.receiver import TcpReceiver
 from repro.transport.scheduler import FcfsScheduler, SubflowScheduler
 from repro.transport.sequence import ReceiveBuffer
-from repro.transport.tcp import CongestionEventCallback, TcpSender
+from repro.transport.tcp import TcpSender
 
 ConnectionCallback = Callable[["MptcpConnection"], None]
 

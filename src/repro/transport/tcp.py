@@ -18,7 +18,7 @@ retransmission timer, which is exactly the failure mode MMPTCP targets.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional, Protocol, runtime_checkable
+from typing import Callable, Optional, Protocol, runtime_checkable
 
 from repro.net.host import Host
 from repro.net.packet import FLAG_DATA, FLAG_SYN, Packet, acquire_packet

@@ -1,0 +1,425 @@
+"""Tests for :mod:`repro.analysis.lint` — the AST-based invariant linter.
+
+Each rule gets a firing fixture and a compliant twin, suppressions are
+exercised in both positions (same line, line above), unknown-rule
+suppressions must be rejected, the JSON report must be byte-stable, and a
+meta-test runs the linter over the real ``src``/``tests`` trees and asserts
+the zero-violation baseline that CI gates on.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.analysis.lint import (
+    EXIT_USAGE,
+    all_rule_names,
+    lint_paths,
+    registered_rules,
+    render_human,
+    render_json,
+)
+from repro.cli import main
+
+REPO_ROOT = Path(repro.__file__).resolve().parents[2]
+
+ALL_RULES = (
+    "no-raw-json",
+    "no-unordered-iteration",
+    "no-wallclock-or-global-random",
+    "pool-ownership",
+    "store-key-purity",
+    "timer-discipline",
+)
+
+
+def _lint(tmp_path, relpath: str, source: str):
+    """Write ``source`` at ``relpath`` under a scratch root and lint it."""
+    path = tmp_path / relpath
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(source)
+    return lint_paths([path], root=tmp_path)
+
+
+def _rules_fired(report):
+    return [violation.rule for violation in report.violations]
+
+
+def test_registry_exposes_the_contracted_rules() -> None:
+    assert all_rule_names() == ALL_RULES
+    for rule in registered_rules():
+        assert rule.description
+
+
+# ---------------------------------------------------------------------------
+# no-raw-json
+# ---------------------------------------------------------------------------
+
+
+def test_no_raw_json_fires_outside_policy_modules(tmp_path) -> None:
+    report = _lint(
+        tmp_path,
+        "src/repro/metrics/collector.py",
+        "import json\n\n\ndef emit(payload):\n    return json.dumps(payload)\n",
+    )
+    assert _rules_fired(report) == ["no-raw-json"]
+    assert report.violations[0].line == 5
+
+
+def test_no_raw_json_fires_in_tests_and_through_aliases(tmp_path) -> None:
+    report = _lint(
+        tmp_path,
+        "tests/test_something.py",
+        "from json import dump as dump_it\n\n\ndef save(payload, fh):\n"
+        "    dump_it(payload, fh)\n",
+    )
+    assert _rules_fired(report) == ["no-raw-json"]
+
+
+def test_no_raw_json_silent_in_policy_modules_and_on_policy_calls(tmp_path) -> None:
+    policy = "import json\n\n\ndef dumps(payload):\n    return json.dumps(payload)\n"
+    assert _lint(tmp_path, "src/repro/metrics/export.py", policy).clean
+    assert _lint(tmp_path, "src/repro/store/canonical.py", policy).clean
+    compliant = (
+        "from repro.metrics.export import dumps_deterministic\n\n\n"
+        "def emit(payload):\n    return dumps_deterministic(payload)\n"
+    )
+    assert _lint(tmp_path, "src/repro/metrics/collector.py", compliant).clean
+
+
+# ---------------------------------------------------------------------------
+# no-wallclock-or-global-random
+# ---------------------------------------------------------------------------
+
+
+def test_wallclock_fires_even_through_import_aliases(tmp_path) -> None:
+    report = _lint(
+        tmp_path,
+        "src/repro/experiments/thing.py",
+        "import time as _clock\n\n\ndef stamp():\n    return _clock.time()\n",
+    )
+    assert _rules_fired(report) == ["no-wallclock-or-global-random"]
+
+
+def test_global_random_fires_module_level_calls_only(tmp_path) -> None:
+    firing = _lint(
+        tmp_path,
+        "src/repro/traffic/thing.py",
+        "import random\n\n\ndef pick(items):\n    return random.choice(items)\n",
+    )
+    assert _rules_fired(firing) == ["no-wallclock-or-global-random"]
+    compliant = _lint(
+        tmp_path,
+        "src/repro/traffic/other.py",
+        "import random\n\n\ndef make_rng(seed):\n    return random.Random(seed)\n",
+    )
+    assert compliant.clean
+
+
+def test_wallclock_scoped_to_the_repro_package(tmp_path) -> None:
+    outside = "import time\n\n\ndef stamp():\n    return time.time()\n"
+    assert _lint(tmp_path, "tests/test_timing.py", outside).clean
+
+
+# ---------------------------------------------------------------------------
+# no-unordered-iteration
+# ---------------------------------------------------------------------------
+
+
+def test_unordered_iteration_fires_on_sets_and_keys_views(tmp_path) -> None:
+    source = (
+        "def walk(nodes, table):\n"
+        "    for node in {n for n in nodes}:\n"
+        "        pass\n"
+        "    for name in table.keys:\n"
+        "        pass\n"
+        "    return [x for x in set(nodes)]\n"
+    )
+    # table.keys without the call is attribute access, not a view iteration;
+    # make the middle loop a real .keys() call.
+    source = source.replace("table.keys:", "table.keys():")
+    report = _lint(tmp_path, "src/repro/net/thing.py", source)
+    assert _rules_fired(report) == ["no-unordered-iteration"] * 3
+
+
+def test_unordered_iteration_allows_sorted_and_other_packages(tmp_path) -> None:
+    compliant = (
+        "def walk(nodes, table):\n"
+        "    for node in sorted({n for n in nodes}):\n"
+        "        pass\n"
+        "    for name in sorted(table.keys()):\n"
+        "        pass\n"
+        "    if 'a' in {n for n in nodes}:\n"
+        "        pass\n"
+    )
+    assert _lint(tmp_path, "src/repro/topology/thing.py", compliant).clean
+    unscoped = "def walk(nodes):\n    return [x for x in set(nodes)]\n"
+    assert _lint(tmp_path, "src/repro/metrics/thing.py", unscoped).clean
+
+
+# ---------------------------------------------------------------------------
+# pool-ownership
+# ---------------------------------------------------------------------------
+
+
+def test_pool_ownership_fires_on_retention(tmp_path) -> None:
+    source = (
+        "class Endpoint:\n"
+        "    def on_packet(self, packet):\n"
+        "        self.last = packet\n"
+        "        self.buffer.append(packet)\n"
+        "        self.by_flow[packet.flow_id] = packet\n"
+    )
+    report = _lint(tmp_path, "src/repro/transport/thing.py", source)
+    assert _rules_fired(report) == ["pool-ownership"] * 3
+
+
+def test_pool_ownership_allows_reads_and_locals(tmp_path) -> None:
+    compliant = (
+        "class Endpoint:\n"
+        "    def on_packet(self, packet):\n"
+        "        self.seq = packet.seq\n"
+        "        local = packet\n"
+        "        self.sizes.append(packet.size)\n"
+        "        self._handle(packet)\n"
+        "\n"
+        "    def other_handler(self, packet):\n"
+        "        self.kept = packet\n"
+    )
+    assert _lint(tmp_path, "src/repro/transport/other.py", compliant).clean
+
+
+# ---------------------------------------------------------------------------
+# store-key-purity
+# ---------------------------------------------------------------------------
+
+
+def test_store_key_purity_fires_in_canonical_only(tmp_path) -> None:
+    impure = (
+        "import os\n\n\n"
+        "def run_key(config, workers):\n"
+        "    return hash((os.getpid(), workers))\n"
+    )
+    report = _lint(tmp_path, "src/repro/store/canonical.py", impure)
+    fired = _rules_fired(report)
+    assert "store-key-purity" in fired
+    # the import, the workers parameter, the hash() call and the workers
+    # reference each get their own finding
+    assert fired.count("store-key-purity") >= 4
+    assert _lint(tmp_path, "src/repro/store/runstore.py", impure).clean
+
+
+def test_store_key_purity_silent_on_the_real_module_shape(tmp_path) -> None:
+    pure = (
+        "import hashlib\n\n\n"
+        "def sha256_hex(text):\n"
+        "    return hashlib.sha256(text.encode('utf-8')).hexdigest()\n"
+    )
+    assert _lint(tmp_path, "src/repro/store/canonical.py", pure).clean
+
+
+# ---------------------------------------------------------------------------
+# timer-discipline
+# ---------------------------------------------------------------------------
+
+
+def test_timer_discipline_fires_on_heapq_and_transport_schedule(tmp_path) -> None:
+    heap = "from heapq import heappush\n"
+    assert _rules_fired(_lint(tmp_path, "src/repro/net/thing.py", heap)) == [
+        "timer-discipline"
+    ]
+    raw = (
+        "class Sender:\n"
+        "    def _arm_rto(self, delay):\n"
+        "        self.simulator.schedule(delay, self._on_rto)\n"
+    )
+    assert _rules_fired(_lint(tmp_path, "src/repro/transport/thing.py", raw)) == [
+        "timer-discipline"
+    ]
+
+
+def test_timer_discipline_allows_the_event_core_and_network_oneshots(tmp_path) -> None:
+    heap = "from heapq import heappush\n"
+    assert _lint(tmp_path, "src/repro/sim/timerwheel.py", heap).clean
+    assert _lint(tmp_path, "src/repro/sim/engine.py", heap).clean
+    oneshot = (
+        "class Link:\n"
+        "    def transit(self, packet):\n"
+        "        self.simulator.schedule(self.delay_s, self._deliver, packet)\n"
+    )
+    assert _lint(tmp_path, "src/repro/net/link.py", oneshot).clean
+    timer_api = (
+        "class Sender:\n"
+        "    def _arm_rto(self, delay):\n"
+        "        self._rto_timer.arm(delay)\n"
+    )
+    assert _lint(tmp_path, "src/repro/transport/other.py", timer_api).clean
+
+
+# ---------------------------------------------------------------------------
+# Suppressions
+# ---------------------------------------------------------------------------
+
+
+def test_suppression_on_the_violating_line_is_honoured(tmp_path) -> None:
+    source = (
+        "import json\n\n\ndef emit(payload):\n"
+        "    return json.dumps(payload)  # repro: allow[no-raw-json] -- fixture\n"
+    )
+    report = _lint(tmp_path, "src/repro/metrics/collector.py", source)
+    assert report.clean
+    assert report.suppressed == 1
+
+
+def test_suppression_on_the_line_above_is_honoured(tmp_path) -> None:
+    source = (
+        "import json\n\n\ndef emit(payload):\n"
+        "    # repro: allow[no-raw-json] -- fixture input, not an artifact\n"
+        "    return json.dumps(payload)\n"
+    )
+    report = _lint(tmp_path, "src/repro/metrics/collector.py", source)
+    assert report.clean
+    assert report.suppressed == 1
+
+
+def test_suppression_only_covers_its_own_line(tmp_path) -> None:
+    source = (
+        "import json\n\n\ndef emit(payload):\n"
+        "    x = json.dumps(payload)  # repro: allow[no-raw-json] -- this line\n"
+        "    return json.dumps(x)\n"
+    )
+    report = _lint(tmp_path, "src/repro/metrics/collector.py", source)
+    assert _rules_fired(report) == ["no-raw-json"]
+    assert report.violations[0].line == 6
+    assert report.suppressed == 1
+
+
+def test_unknown_rule_suppression_is_rejected(tmp_path) -> None:
+    source = "x = 1  # repro: allow[no-such-rule]\n"
+    report = _lint(tmp_path, "src/repro/metrics/collector.py", source)
+    assert _rules_fired(report) == ["unknown-suppression"]
+    assert "no-such-rule" in report.violations[0].message
+
+
+def test_suppression_marker_inside_a_string_is_ignored(tmp_path) -> None:
+    source = (
+        "import json\n\nNOTE = '# repro: allow[no-raw-json]'\n\n\n"
+        "def emit(payload):\n    return json.dumps(payload)\n"
+    )
+    report = _lint(tmp_path, "src/repro/metrics/collector.py", source)
+    assert _rules_fired(report) == ["no-raw-json"]
+    assert report.suppressed == 0
+
+
+# ---------------------------------------------------------------------------
+# Reports, exit codes, driver behaviour
+# ---------------------------------------------------------------------------
+
+
+def test_json_report_is_byte_stable_and_deterministic(tmp_path) -> None:
+    path = tmp_path / "src" / "repro" / "net" / "thing.py"
+    path.parent.mkdir(parents=True)
+    path.write_text("from heapq import heappush\nimport json\nx = json.dumps({})\n")
+    first = render_json(lint_paths([path], root=tmp_path))
+    second = render_json(lint_paths([path], root=tmp_path))
+    assert first == second
+    assert first.endswith("\n")
+    payload = json.loads(first)
+    assert payload["clean"] is False
+    assert payload["schema"] == 1
+    assert [v["rule"] for v in payload["violations"]] == [
+        "timer-discipline",
+        "no-raw-json",
+    ]
+    # keys are emitted sorted (dumps_deterministic policy)
+    assert list(payload) == sorted(payload)
+
+
+def test_violations_sort_by_path_line_column(tmp_path) -> None:
+    (tmp_path / "src" / "repro" / "net").mkdir(parents=True)
+    (tmp_path / "src" / "repro" / "net" / "b.py").write_text("from heapq import heappush\n")
+    (tmp_path / "src" / "repro" / "net" / "a.py").write_text(
+        "def f(x):\n    for item in set(x):\n        pass\n"
+    )
+    report = lint_paths([tmp_path / "src"], root=tmp_path)
+    assert [v.path for v in report.violations] == [
+        "src/repro/net/a.py",
+        "src/repro/net/b.py",
+    ]
+
+
+def test_parse_error_is_reported_not_raised(tmp_path) -> None:
+    report = _lint(tmp_path, "src/repro/net/broken.py", "def f(:\n")
+    assert _rules_fired(report) == ["parse-error"]
+
+
+def test_human_report_mentions_every_violation(tmp_path) -> None:
+    report = _lint(
+        tmp_path,
+        "src/repro/net/thing.py",
+        "from heapq import heappush\n",
+    )
+    rendered = render_human(report)
+    assert "src/repro/net/thing.py:1:1: timer-discipline" in rendered
+    assert "1 violation(s)" in rendered
+
+
+def test_unknown_rule_selection_raises_one_line_keyerror() -> None:
+    with pytest.raises(KeyError, match="unknown lint rule"):
+        registered_rules(["nope"])
+
+
+# ---------------------------------------------------------------------------
+# CLI integration and the repository baseline (the CI gate, mirrored)
+# ---------------------------------------------------------------------------
+
+
+def test_cli_lint_repository_baseline_is_clean(capsys) -> None:
+    assert main(["lint", str(REPO_ROOT / "src"), str(REPO_ROOT / "tests")]) == 0
+    out = capsys.readouterr().out
+    assert "0 violations" in out
+
+
+def test_lint_paths_over_the_repository_finds_nothing() -> None:
+    report = lint_paths(
+        [REPO_ROOT / "src" / "repro", REPO_ROOT / "tests"], root=REPO_ROOT
+    )
+    assert report.violations == ()
+    # the documented exceptions really are suppressions, not rule gaps
+    assert report.suppressed >= 8
+
+
+def test_cli_lint_exit_codes(tmp_path, capsys) -> None:
+    bad = tmp_path / "bad.py"
+    bad.write_text("import json\nx = json.dumps({})\n")
+    assert main(["lint", str(bad)]) == 1
+    capsys.readouterr()
+    assert main(["lint", str(tmp_path / "missing.py")]) == EXIT_USAGE
+    assert "lint failed" in capsys.readouterr().err
+    assert main(["lint", str(bad), "--rules", "bogus"]) == EXIT_USAGE
+    assert "unknown lint rule" in capsys.readouterr().err
+
+
+def test_cli_lint_json_format_and_rule_selection(tmp_path, capsys) -> None:
+    bad = tmp_path / "bad.py"
+    bad.write_text("import json\nx = json.dumps({})\n")
+    assert main(["lint", str(bad), "--format", "json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert [v["rule"] for v in payload["violations"]] == ["no-raw-json"]
+    # selecting an unrelated rule silences the finding but keeps the scan
+    assert main(["lint", str(bad), "--rules", "timer-discipline"]) == 0
+
+
+def test_cli_lint_list_rules(capsys) -> None:
+    assert main(["lint", "--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule in ALL_RULES:
+        assert rule in out
+
+
+def test_module_entry_point_matches_cli() -> None:
+    from repro.analysis.lint.cli import main as lint_main
+
+    assert lint_main([str(REPO_ROOT / "src"), str(REPO_ROOT / "tests")]) == 0

@@ -84,6 +84,7 @@ def test_spec_dict_round_trip_and_unknown_keys() -> None:
 def test_spec_from_file(tmp_path) -> None:
     spec = _spec()
     path = tmp_path / "campaign.json"
+    # repro: allow[no-raw-json] -- hand-written spec input, not an artifact
     path.write_text(json.dumps(spec.to_dict()))
     assert CampaignSpec.from_file(path) == spec
 
@@ -368,6 +369,7 @@ def _cli_grid_args(store) -> list:
 def test_cli_campaign_run_status_report_gc(tmp_path, capsys) -> None:
     store = tmp_path / "store"
     spec_file = tmp_path / "campaign.json"
+    # repro: allow[no-raw-json] -- hand-written spec input, not an artifact
     spec_file.write_text(json.dumps(_spec(scenarios=("baseline",), protocols=("tcp",)).to_dict()))
     report_file = tmp_path / "report.md"
 
@@ -425,6 +427,7 @@ def test_cli_campaign_missing_spec_file_fails_cleanly(tmp_path, capsys) -> None:
 def test_cli_campaign_corrupt_artifact_fails_cleanly(tmp_path, capsys) -> None:
     spec = _spec(scenarios=("baseline",), protocols=("tcp",))
     spec_file = tmp_path / "campaign.json"
+    # repro: allow[no-raw-json] -- hand-written spec input, not an artifact
     spec_file.write_text(json.dumps(spec.to_dict()))
     store_dir = tmp_path / "store"
     assert main(["campaign", "run", "--store", str(store_dir),

@@ -8,12 +8,12 @@ seeds must drive genuinely distinct streams.
 
 from __future__ import annotations
 
+import pytest
+
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.runner import run_experiment
 from repro.sim.randomness import RandomStreams, derive_seed, spawn_seed, spawn_seeds
 from repro.traffic.flowspec import PROTOCOL_MMPTCP
-
-import pytest
 
 
 def mmptcp_config(seed: int = 11) -> ExperimentConfig:

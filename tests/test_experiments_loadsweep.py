@@ -12,7 +12,7 @@ from repro.experiments.loadsweep import (
     run_load_sweep,
 )
 from repro.sim.units import megabits_per_second
-from repro.traffic.flowspec import PROTOCOL_MMPTCP, PROTOCOL_MPTCP, PROTOCOL_TCP
+from repro.traffic.flowspec import PROTOCOL_MMPTCP, PROTOCOL_TCP
 
 
 def _tiny_config(**overrides) -> ExperimentConfig:

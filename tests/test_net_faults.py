@@ -7,12 +7,12 @@ import pytest
 from repro.net.faults import (
     DEGRADE,
     DRAIN_STEPS,
-    FaultEvent,
-    FaultInjector,
     LINK_DOWN,
     LINK_UP,
     MIGRATE_HOST,
     RESTORE,
+    FaultEvent,
+    FaultInjector,
     degradation,
     host_migration,
     link_drain,

@@ -9,9 +9,9 @@ from repro.net.queues import DropTailQueue
 from repro.sim.engine import Simulator
 from repro.sim.units import megabits_per_second, microseconds
 from repro.topology.simple import DumbbellTopology, IncastTopology
+from repro.transport.base import TcpConfig
 from repro.transport.receiver import TcpReceiver
 from repro.transport.tcp import TcpSender
-from repro.transport.base import TcpConfig
 
 
 def _run_dumbbell(pairs: int = 3, flow_bytes: int = 300_000, queue_capacity: int = 20):

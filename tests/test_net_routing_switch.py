@@ -4,7 +4,6 @@ from __future__ import annotations
 
 import pytest
 
-from repro.net.host import Host
 from repro.net.monitor import NetworkMonitor
 from repro.net.packet import FLAG_DATA, Packet
 from repro.net.routing import count_equal_cost_paths, verify_all_pairs_routable

@@ -19,7 +19,7 @@ from hypothesis import strategies as st
 
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.runner import run_experiment
-from repro.net.faults import DEGRADE, FaultEvent, FaultInjector, LINK_DOWN, LINK_UP, RESTORE
+from repro.net.faults import DEGRADE, LINK_DOWN, LINK_UP, RESTORE, FaultEvent, FaultInjector
 from repro.net.packet import Packet
 from repro.sim.engine import Simulator
 from repro.topology.fattree import FatTreeParams, FatTreeTopology

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import pytest
 
+from repro.analysis.report import scenario_matrix_markdown
 from repro.experiments.parallel import SweepRunner
 from repro.net.faults import link_failure
 from repro.scenarios import (
@@ -21,7 +22,6 @@ from repro.scenarios import (
     scenario_run_specs,
     tiny_config,
 )
-from repro.analysis.report import scenario_matrix_markdown
 from repro.traffic.flowspec import PROTOCOL_MMPTCP, PROTOCOL_TCP
 
 

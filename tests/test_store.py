@@ -145,6 +145,7 @@ def test_store_get_detects_tampering(tmp_path, tiny_result) -> None:
 
     artifact = json.loads(path.read_text())
     artifact["payload"]["events_processed"] += 1
+    # repro: allow[no-raw-json] -- tampered artifact, non-canonical on purpose
     path.write_text(json.dumps(artifact))
     with pytest.raises(StoreIntegrityError, match="hash mismatch"):
         store.get(key)

@@ -6,7 +6,7 @@ import pytest
 
 from repro.net.queues import DropTailQueue
 from repro.sim.engine import Simulator
-from repro.sim.units import megabits_per_second, microseconds, milliseconds
+from repro.sim.units import microseconds, milliseconds
 from repro.topology.dualhomed import DualHomedFatTreeTopology
 from repro.topology.fattree import FatTreeParams
 from repro.topology.simple import TwoHostTopology, TwoPathTopology

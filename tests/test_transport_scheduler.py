@@ -5,18 +5,18 @@ from __future__ import annotations
 import pytest
 
 from repro.transport.path_manager import (
+    PATH_MANAGERS,
     FullMeshPathManager,
     NdiffportsPathManager,
-    PATH_MANAGERS,
     make_path_manager,
     path_manager_names,
 )
 from repro.transport.scheduler import (
+    SCHEDULERS,
     FcfsScheduler,
     LowestRttScheduler,
     RedundantScheduler,
     RoundRobinScheduler,
-    SCHEDULERS,
     make_scheduler,
     scheduler_names,
 )

@@ -7,7 +7,7 @@ import pytest
 from repro.net.packet import FLAG_ACK, Packet
 from repro.net.queues import DropTailQueue
 from repro.sim.engine import Simulator
-from repro.sim.units import megabits_per_second, microseconds
+from repro.sim.units import megabits_per_second
 from repro.topology.simple import DumbbellTopology, TwoHostTopology
 from repro.transport.base import TcpConfig
 from repro.transport.receiver import TcpReceiver
