@@ -19,6 +19,7 @@ from repro.analysis.lint import (
     rules_determinism,
     rules_json,
     rules_pool,
+    rules_schema,
     rules_store,
     rules_timers,
 )

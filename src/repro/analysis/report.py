@@ -12,9 +12,27 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence
 
 from repro.analysis.compare import MetricComparison
+from repro.metrics.stats import mean_ci95
 
 #: How numeric cells are formatted by default.
 _FLOAT_FORMAT = "{:.3f}"
+
+#: Metric columns aggregated across replications, in pinned order (a twin of
+#: :data:`repro.scenarios.runner.CELL_METRIC_FIELDS`, duplicated here to
+#: keep this module free of a scenarios dependency; a regression test pins
+#: the two tuples to each other).  Extend at the end only — CSV headers and
+#: report tables derive from it.
+REPLICATION_SUMMARY_METRICS = (
+    "short_flows",
+    "completion_rate",
+    "mean_fct_ms",
+    "p99_fct_ms",
+    "rto_incidence",
+    "retransmits",
+    "rtos",
+    "fault_drops",
+    "long_tput_mbps",
+)
 
 
 def _format_cell(value: object) -> str:
@@ -127,6 +145,44 @@ def scenario_matrix_markdown(
     return markdown_table(headers, table_rows)
 
 
+def replication_summary_rows(
+    rows: Sequence[Mapping[str, object]],
+) -> List[Dict[str, object]]:
+    """Across-replication aggregation of per-cell campaign rows.
+
+    Groups ``rows`` (the dictionaries from
+    :func:`repro.campaigns.runner.campaign_rows`) by
+    (``scenario``, ``protocol``, ``params``) in first-appearance order —
+    which, for campaign rows, is declared cell order — and reports the
+    sample mean and 95% confidence half-width (see
+    :func:`repro.metrics.stats.mean_ci95`; 0.0 for a single replication)
+    of every metric in :data:`REPLICATION_SUMMARY_METRICS`.
+
+    Key order — ``scenario``, ``protocol``, ``params``, ``replications``,
+    then a ``<metric>_mean`` / ``<metric>_ci95`` pair per metric — is
+    insertion-stable and part of the public contract (CSV headers and
+    report tables derive from it).
+    """
+    groups: Dict[tuple, List[Mapping[str, object]]] = {}
+    for row in rows:
+        coordinate = (row["scenario"], row["protocol"], row.get("params", ""))
+        groups.setdefault(coordinate, []).append(row)
+    summary_rows: List[Dict[str, object]] = []
+    for (scenario, protocol, params), members in groups.items():
+        summary: Dict[str, object] = {
+            "scenario": scenario,
+            "protocol": protocol,
+            "params": params,
+            "replications": len(members),
+        }
+        for metric in REPLICATION_SUMMARY_METRICS:
+            mean, half_width = mean_ci95(float(member[metric]) for member in members)
+            summary[f"{metric}_mean"] = mean
+            summary[f"{metric}_ci95"] = half_width
+        summary_rows.append(summary)
+    return summary_rows
+
+
 def campaign_report_markdown(
     spec: object,
     rows: Sequence[Mapping[str, object]],
@@ -165,6 +221,15 @@ def campaign_report_markdown(
         lines.append(markdown_table(headers, [[row[h] for h in headers] for row in rows]))
     else:
         lines.append("_No cells declared._")
+    if spec.replications > 1 and rows:
+        # Replicated campaigns additionally get the across-replication view:
+        # one row per cell coordinate with mean ± 95% CI columns.
+        summary_rows = replication_summary_rows(rows)
+        headers = list(summary_rows[0].keys())
+        lines.extend(["", "## Across replications (mean ± 95% CI)", ""])
+        lines.append(
+            markdown_table(headers, [[row[h] for h in headers] for row in summary_rows])
+        )
     deltas_apply = (
         baseline_protocol in spec.protocols
         and spec.replications == 1

@@ -23,6 +23,7 @@ from repro.campaigns.runner import (
     campaign_rows,
     campaign_run_specs,
     campaign_status,
+    campaign_summary_rows,
     load_campaign_cells,
     outcome_report,
     params_label,
@@ -44,6 +45,7 @@ __all__ = [
     "campaign_rows",
     "campaign_run_specs",
     "campaign_status",
+    "campaign_summary_rows",
     "load_campaign_cells",
     "outcome_report",
     "params_label",

@@ -29,7 +29,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
-from repro.analysis.report import campaign_report_markdown
+from repro.analysis.report import campaign_report_markdown, replication_summary_rows
 from repro.campaigns.spec import CampaignSpec, campaign_base_config
 from repro.experiments.parallel import (
     RunSpec,
@@ -347,6 +347,16 @@ def campaign_rows(cells: Sequence[CampaignCell]) -> List[Dict[str, object]]:
         row.update(result_metrics_row(cell.result))
         rows.append(row)
     return rows
+
+
+def campaign_summary_rows(cells: Sequence[CampaignCell]) -> List[Dict[str, object]]:
+    """Across-replication mean ± 95% CI rows, one per cell coordinate.
+
+    A thin composition of :func:`campaign_rows` with
+    :func:`repro.analysis.report.replication_summary_rows`; see the latter
+    for the grouping and the pinned key order.
+    """
+    return replication_summary_rows(campaign_rows(cells))
 
 
 def campaign_report(

@@ -15,10 +15,13 @@ Exposes the experiment harness without writing any Python::
     repro-mmptcp scenarios matrix --workers 4 --export-dir results/
     repro-mmptcp scenarios matrix --scenarios vm-migration vip-failover \
         --transports tcp mmptcp
+    repro-mmptcp run --fidelity flow --max-short-flows 5000
     repro-mmptcp campaign run --store results/store --workers 4 --report report.md
+    repro-mmptcp campaign run --store results/store --fidelities packet flow
     repro-mmptcp campaign status --store results/store
     repro-mmptcp campaign report --store results/store --output report.md
     repro-mmptcp campaign gc --store results/store
+    repro-mmptcp store verify --store results/store --budget 100000000
 
 Every sub-command prints the same tables the corresponding benchmark prints
 and can optionally export per-flow CSVs / JSON summaries via
@@ -46,12 +49,18 @@ from repro.campaigns import (
     campaign_report,
     campaign_rows,
     campaign_status,
+    campaign_summary_rows,
     outcome_report,
     params_label,
     run_campaign,
 )
 from repro.experiments.coexistence import coexistence_rows, run_coexistence_experiment
-from repro.experiments.config import SCALES, ExperimentConfig, scaled_config
+from repro.experiments.config import (
+    FIDELITIES,
+    SCALES,
+    ExperimentConfig,
+    scaled_config,
+)
 from repro.experiments.deadline_study import deadline_rows, run_deadline_study
 from repro.experiments.figure1 import figure1a_series, figure1b_scatter, figure1c_scatter
 from repro.experiments.hotspot import hotspot_rows, run_hotspot_comparison
@@ -76,7 +85,7 @@ from repro.scenarios import (
     tiny_config,
 )
 from repro.sim.units import megabits_per_second
-from repro.store import RunStore, StoreError
+from repro.store import RunStore, StoreError, StoreIntegrityError
 from repro.traffic.flowspec import ALL_PROTOCOLS, PROTOCOL_MMPTCP, PROTOCOL_MPTCP
 from repro.transport.path_manager import path_manager_names
 from repro.transport.scheduler import scheduler_names
@@ -114,12 +123,18 @@ def _config_from_args(args: argparse.Namespace) -> ExperimentConfig:
 
 
 def _transport_matrix_overrides(args: argparse.Namespace) -> Dict[str, str]:
-    """The scheduler/path-manager overrides shared by run and scenario commands."""
+    """The scheduler/path-manager/fidelity overrides shared across commands.
+
+    Every entry follows the same rule: an omitted flag adds no override, so
+    the resulting config — and any store key derived from it — is untouched.
+    """
     overrides: Dict[str, str] = {}
     if getattr(args, "scheduler", None) is not None:
         overrides["scheduler"] = args.scheduler
     if getattr(args, "path_manager", None) is not None:
         overrides["path_manager"] = args.path_manager
+    if getattr(args, "fidelity", None) is not None:
+        overrides["fidelity"] = args.fidelity
     return overrides
 
 
@@ -241,6 +256,7 @@ def _cmd_section3(args: argparse.Namespace) -> int:
 
 def _cmd_loadsweep(args: argparse.Namespace) -> int:
     config = scaled_config(args.scale, args.seed)
+    config = config.with_updates(**_transport_matrix_overrides(args))
     points = run_load_sweep(
         config,
         protocols=tuple(args.protocols),
@@ -284,6 +300,7 @@ def _cmd_hotspot(args: argparse.Namespace) -> int:
 
 def _cmd_incast(args: argparse.Namespace) -> int:
     config = scaled_config(args.scale, args.seed).with_updates(num_subflows=args.subflows)
+    config = config.with_updates(**_transport_matrix_overrides(args))
     points = run_incast_sweep(
         config,
         protocols=tuple(args.protocols),
@@ -387,14 +404,16 @@ def _campaign_spec_from_args(args: argparse.Namespace) -> CampaignSpec:
     """The campaign spec: from ``--spec FILE`` when given, else from flags."""
     if args.spec:
         return CampaignSpec.from_file(args.spec)
-    # Scheduler / path-manager lists become ordinary sweep axes; omitting a
-    # flag adds no axis, so cell labels and cache keys of existing campaigns
-    # are untouched.
+    # Scheduler / path-manager / fidelity lists become ordinary sweep axes;
+    # omitting a flag adds no axis, so cell labels and cache keys of existing
+    # campaigns are untouched.
     sweeps = []
     if getattr(args, "schedulers", None):
         sweeps.append(("scheduler", tuple(args.schedulers)))
     if getattr(args, "path_managers", None):
         sweeps.append(("path_manager", tuple(args.path_managers)))
+    if getattr(args, "fidelities", None):
+        sweeps.append(("fidelity", tuple(args.fidelities)))
     return CampaignSpec(
         name=args.name,
         scenarios=tuple(args.scenarios),
@@ -443,6 +462,10 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
               f"{len(spec.protocols)} transport(s) × {len(spec.sweep_points())} sweep "
               f"point(s) × {spec.replications} replication(s)")
         print(_rows_table(rows))
+        if spec.replications > 1:
+            print()
+            print("Across replications (mean ± 95% CI)")
+            print(_rows_table(campaign_summary_rows(outcome.cells)))
         print(_campaign_summary_line(
             spec.name, len(outcome.cells), outcome.cache_hits, outcome.simulated, args.store
         ))
@@ -513,6 +536,64 @@ def _cmd_campaign_gc(args: argparse.Namespace) -> int:
 
 
 # ---------------------------------------------------------------------------
+# Store commands
+# ---------------------------------------------------------------------------
+
+
+def _cmd_store_verify(args: argparse.Namespace) -> int:
+    """Re-verify every stored artifact's embedded integrity hashes.
+
+    Walks the store's ``objects/`` tree and re-reads each artifact through
+    the verified path, so bit-rot, truncation or tampering anywhere in the
+    payload surfaces as a per-key diagnostic and exit code 2.  With
+    ``--budget`` it additionally reports size usage and previews which
+    artifacts a least-recently-used eviction would drop — report only,
+    nothing is deleted (groundwork for a future size-capped store).
+    """
+    if args.budget is not None and args.budget <= 0:
+        return _command_error("store verify: --budget must be a positive byte count")
+    entries = []  # (key, size_bytes, mtime_ns, error_or_None)
+    try:
+        store = RunStore(args.store)
+        for key in store.keys():
+            stat = store.object_path(key).stat()
+            error = None
+            try:
+                store.get_artifact(key)
+            except StoreIntegrityError as exc:
+                error = str(exc)
+            entries.append((key, stat.st_size, stat.st_mtime_ns, error))
+    except (StoreError, OSError) as exc:
+        return _command_error(f"store verify failed: {exc}")
+    corrupt = [(key, error) for key, _, _, error in entries if error]
+    for key, error in corrupt:
+        print(f"corrupt {key}: {error}", file=sys.stderr)
+    total_bytes = sum(size for _, size, _, _ in entries)
+    print(
+        f"store '{args.store}': artifacts={len(entries)} "
+        f"ok={len(entries) - len(corrupt)} corrupt={len(corrupt)} bytes={total_bytes}"
+    )
+    if args.budget is not None:
+        print(f"budget: {total_bytes}/{args.budget} bytes "
+              f"({100.0 * total_bytes / args.budget:.1f}% used)")
+        if total_bytes > args.budget:
+            excess = total_bytes - args.budget
+            victims = []
+            freed = 0
+            # Oldest-touched first, key as the deterministic tie-break.
+            for key, size, _mtime, _err in sorted(entries, key=lambda e: (e[2], e[0])):
+                if freed >= excess:
+                    break
+                victims.append((key, size))
+                freed += size
+            print(f"over budget by {excess} bytes; an LRU sweep would evict "
+                  f"{len(victims)} artifact(s) freeing {freed} bytes:")
+            for key, size in victims:
+                print(f"  evict {key} ({size} bytes)")
+    return 2 if corrupt else 0
+
+
+# ---------------------------------------------------------------------------
 # Lint command
 # ---------------------------------------------------------------------------
 
@@ -534,12 +615,21 @@ def _cmd_lint(args: argparse.Namespace) -> int:
 _workers_count = workers_argument_type
 
 
+def _add_fidelity_argument(parser: argparse.ArgumentParser) -> None:
+    """The ``--fidelity`` tier knob (None = config default, packet)."""
+    parser.add_argument("--fidelity", choices=FIDELITIES, default=None,
+                        help="simulation fidelity tier: packet = per-segment "
+                             "engine, flow = fluid bandwidth sharing for ~100x "
+                             "flow scale (default: packet)")
+
+
 def _add_transport_matrix_arguments(parser: argparse.ArgumentParser) -> None:
-    """``--scheduler`` / ``--path-manager`` knobs (None = config default)."""
+    """``--scheduler`` / ``--path-manager`` / ``--fidelity`` knobs (None = config default)."""
     parser.add_argument("--scheduler", choices=scheduler_names(), default=None,
                         help="MPTCP chunk scheduler (default: fcfs)")
     parser.add_argument("--path-manager", choices=path_manager_names(), default=None,
                         help="MPTCP subflow creation policy (default: ndiffports)")
+    _add_fidelity_argument(parser)
 
 
 def _add_common_arguments(parser: argparse.ArgumentParser, workers: bool = False) -> None:
@@ -604,6 +694,7 @@ def build_parser() -> argparse.ArgumentParser:
     loadsweep.add_argument("--factors", type=float, nargs="+", default=[0.5, 1.0, 1.5, 2.0])
     loadsweep.add_argument("--protocols", nargs="+", default=[PROTOCOL_MPTCP, PROTOCOL_MMPTCP],
                            choices=ALL_PROTOCOLS)
+    _add_fidelity_argument(loadsweep)
     loadsweep.set_defaults(handler=_cmd_loadsweep)
 
     coexistence = subparsers.add_parser("coexistence",
@@ -630,6 +721,7 @@ def build_parser() -> argparse.ArgumentParser:
                         help="size of each incast response in kB")
     incast.add_argument("--topologies", nargs="+", default=["fattree"],
                         choices=("fattree", "dualhomed", "vl2"))
+    _add_fidelity_argument(incast)
     incast.set_defaults(handler=_cmd_incast)
 
     deadlines = subparsers.add_parser("deadlines", help="run the deadline-miss study")
@@ -687,6 +779,20 @@ def build_parser() -> argparse.ArgumentParser:
     add_lint_arguments(lint)
     lint.set_defaults(handler=_cmd_lint)
 
+    store_parser = subparsers.add_parser(
+        "store", help="inspect and verify a content-addressed run store")
+    store_sub = store_parser.add_subparsers(dest="store_command", required=True)
+
+    store_verify = store_sub.add_parser(
+        "verify",
+        help="re-verify every artifact's integrity hashes (exit 2 on corruption)")
+    store_verify.add_argument("--store", required=True,
+                              help="run-store directory to verify")
+    store_verify.add_argument("--budget", type=int, default=None, metavar="BYTES",
+                              help="also report size usage against a byte budget "
+                                   "and preview an LRU eviction (nothing is deleted)")
+    store_verify.set_defaults(handler=_cmd_store_verify)
+
     campaign = subparsers.add_parser(
         "campaign",
         help="resumable, store-backed campaigns (scenario × transport × sweep × replication)")
@@ -715,6 +821,9 @@ def build_parser() -> argparse.ArgumentParser:
                          default=None,
                          help="sweep axis over MPTCP path managers (omit for "
                               "the config default, ndiffports)")
+        sub.add_argument("--fidelities", nargs="+", choices=FIDELITIES, default=None,
+                         help="sweep axis over simulation fidelity tiers (omit "
+                              "for the config default, packet)")
         sub.add_argument("--baseline-protocol", default="tcp", choices=ALL_PROTOCOLS,
                          help="protocol the report's delta table compares against")
 

@@ -48,6 +48,14 @@ REORDERING_STATIC = "static"
 REORDERING_TOPOLOGY = "topology_informed"
 REORDERING_ADAPTIVE = "adaptive"
 
+#: Simulation fidelity tiers.  ``packet`` is the full per-segment engine;
+#: ``flow`` is the fluid bandwidth-sharing tier (:mod:`repro.flowlevel`)
+#: that only recomputes rates on arrival/departure/fault events and buys
+#: ~100× flow-count headroom at documented accuracy tolerances.
+FIDELITY_PACKET = "packet"
+FIDELITY_FLOW = "flow"
+FIDELITIES = (FIDELITY_PACKET, FIDELITY_FLOW)
+
 
 @dataclass(frozen=True)
 class ExperimentConfig:
@@ -107,6 +115,10 @@ class ExperimentConfig:
     seed: int = 1
     max_events: Optional[int] = None
     wallclock_limit_s: Optional[float] = None
+    #: Simulation fidelity: ``packet`` (per-segment engine) or ``flow`` (the
+    #: fluid bandwidth-sharing tier).  A first-class config field so it
+    #: participates in store keys and campaign sweep axes automatically.
+    fidelity: str = FIDELITY_PACKET
 
     # ------------------------------------------------------------------
 
@@ -132,6 +144,10 @@ class ExperimentConfig:
             raise ValueError(
                 f"unknown path manager {self.path_manager!r}; expected one of "
                 f"{tuple(sorted(PATH_MANAGERS))}"
+            )
+        if self.fidelity not in FIDELITIES:
+            raise ValueError(
+                f"unknown fidelity {self.fidelity!r}; expected one of {FIDELITIES}"
             )
         if not isinstance(self.fault_schedule, tuple):
             # Lists pickle fine but break hashing/equality of the frozen

@@ -26,6 +26,7 @@ from repro.core.reordering import (
     TopologyInformedPolicy,
 )
 from repro.experiments.config import (
+    FIDELITY_FLOW,
     QUEUE_DROPTAIL,
     QUEUE_ECN,
     QUEUE_SHARED,
@@ -382,6 +383,18 @@ def run_experiment(
         trace: sink receiving the run's trace events (drops, fault events,
             ...); the default null sink costs nothing.
     """
+    if config.fidelity == FIDELITY_FLOW:
+        if topology_builder is not None:
+            raise ValueError(
+                "topology_builder overrides are packet-fidelity only: the "
+                "flow tier derives its fabric from the standard build_topology"
+            )
+        # Imported lazily: repro.flowlevel reuses this module's topology and
+        # workload builders, so a top-level import would be a cycle.
+        from repro.flowlevel.engine import run_flow_experiment
+
+        return run_flow_experiment(config, workload=workload, trace=trace)
+
     # wallclock_s is a pure diagnostic: the store normalises it to 0.0 and no
     # metric derives from it, so the real-clock read cannot perturb results.
     # repro: allow[no-wallclock-or-global-random] -- diagnostic only

@@ -1,0 +1,16 @@
+"""Flow-level (fluid bandwidth-sharing) fidelity tier.
+
+Selected via ``ExperimentConfig.fidelity = "flow"``; see
+:mod:`repro.flowlevel.engine` for the model and its documented
+approximations, and :mod:`repro.sim.fluid` for the max-min solver.
+"""
+
+from repro.flowlevel.engine import FlowLevelEngine, run_flow_experiment
+from repro.flowlevel.fabric import FluidFabric, FluidFaultApplier
+
+__all__ = [
+    "FlowLevelEngine",
+    "FluidFabric",
+    "FluidFaultApplier",
+    "run_flow_experiment",
+]

@@ -50,6 +50,25 @@ def summarize(values: Iterable[float]) -> DistributionSummary:
     )
 
 
+def mean_ci95(values: Iterable[float]) -> Tuple[float, float]:
+    """Sample mean and 95% confidence half-width of ``values``.
+
+    The half-width is the normal-approximation interval ``1.96 · s / √n``
+    with the *sample* standard deviation (ddof=1) — the convention campaign
+    reports use for across-replication columns.  It is 0.0 for fewer than
+    two values (no spread estimate), and the result is ``(0.0, 0.0)`` for an
+    empty sample.
+    """
+    data = np.asarray(list(values), dtype=float)
+    if data.size == 0:
+        return 0.0, 0.0
+    mean = float(np.mean(data))
+    if data.size < 2:
+        return mean, 0.0
+    std = float(np.std(data, ddof=1))
+    return mean, 1.96 * std / float(np.sqrt(data.size))
+
+
 def percentile(values: Sequence[float], q: float) -> float:
     """The ``q``-th percentile of ``values`` (0 for an empty sample)."""
     if not values:

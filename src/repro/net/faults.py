@@ -194,6 +194,39 @@ def link_drain(
     )
 
 
+def expand_fault_event(event: FaultEvent) -> Tuple[FaultEvent, ...]:
+    """Expand a compound event into the primitive steps actually applied.
+
+    ``drain_link`` becomes its degrade staircase (:data:`DRAIN_STEPS` steps
+    of ``factor``, ``factor**2``, ... evenly spaced over ``duration_s``)
+    followed by the final ``link_down``; every other kind is already
+    primitive.  Both the packet-level :class:`FaultInjector` and the
+    flow-level fluid fault applier expand through this one function, so the
+    two fidelity tiers agree on what a drain *is*.
+    """
+    if event.kind != DRAIN_LINK:
+        return (event,)
+    step = event.duration_s / DRAIN_STEPS
+    staircase = tuple(
+        FaultEvent(
+            time_s=event.time_s + index * step,
+            kind=DEGRADE,
+            node_a=event.node_a,
+            node_b=event.node_b,
+            factor=event.factor ** (index + 1),
+        )
+        for index in range(DRAIN_STEPS)
+    )
+    return staircase + (
+        FaultEvent(
+            time_s=event.time_s + event.duration_s,
+            kind=LINK_DOWN,
+            node_a=event.node_a,
+            node_b=event.node_b,
+        ),
+    )
+
+
 class FaultInjector:
     """Arms a fault schedule on a topology inside a running simulation."""
 
@@ -260,27 +293,7 @@ class FaultInjector:
 
     def _expand(self, event: FaultEvent) -> Tuple[FaultEvent, ...]:
         """Expand compound events into the primitive steps actually applied."""
-        if event.kind != DRAIN_LINK:
-            return (event,)
-        step = event.duration_s / DRAIN_STEPS
-        staircase = tuple(
-            FaultEvent(
-                time_s=event.time_s + index * step,
-                kind=DEGRADE,
-                node_a=event.node_a,
-                node_b=event.node_b,
-                factor=event.factor ** (index + 1),
-            )
-            for index in range(DRAIN_STEPS)
-        )
-        return staircase + (
-            FaultEvent(
-                time_s=event.time_s + event.duration_s,
-                kind=LINK_DOWN,
-                node_a=event.node_a,
-                node_b=event.node_b,
-            ),
-        )
+        return expand_fault_event(event)
 
     def _interfaces_for(self, event: FaultEvent) -> Tuple["Interface", "Interface"]:
         return self.topology.interfaces_between(event.node_a, event.node_b)

@@ -1,0 +1,129 @@
+"""Deterministic (weighted) max-min fair-share allocation.
+
+This is the rate solver at the heart of the flow-level fidelity tier
+(:mod:`repro.flowlevel`): every active subflow is a *participant* with a
+fixed set of directed links (its path) and a positive weight, and the
+allocation is the classic progressive-filling one — raise every unfrozen
+participant's rate in proportion to its weight until some link saturates,
+freeze the participants crossing that link, repeat.  The result is the
+unique weighted max-min fair allocation for unbounded demands.
+
+Weights are how MPTCP-style *coupling* is approximated: a multipath flow
+splits weight ``1/k`` over its ``k`` subflow paths, so at a bottleneck link
+shared by all of its subflows (a host's access link, say) the whole flow
+weighs exactly as much as a single-path TCP flow — the fairness goal of
+coupled congestion control — while still being able to fill several
+disjoint paths.
+
+Determinism: the solver's arithmetic is order-independent (one addition /
+subtraction per participant / link per round), and every iteration that
+*could* depend on ordering walks its keys sorted, so equal inputs produce
+bit-equal outputs on any platform and in any process.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Sequence, Tuple, TypeVar
+
+Key = TypeVar("Key")
+
+#: Relative tolerance (to a link's capacity) below which a link's residual
+#: capacity counts as zero.  Progressive filling drives the bottleneck
+#: link's residual to exactly zero in real arithmetic; this absorbs the
+#: float round-off of ``remaining - (remaining / weight) * weight``.
+_SATURATION_EPSILON = 1e-9
+
+
+def max_min_rates(
+    capacities: Mapping[str, float],
+    paths: Mapping[Key, Sequence[str]],
+    weights: Optional[Mapping[Key, float]] = None,
+) -> Dict[Key, float]:
+    """Weighted max-min fair rates for unbounded-demand participants.
+
+    Args:
+        capacities: directed link name → capacity (bits/s).  A non-positive
+            capacity models a failed link: participants crossing it are
+            pinned at rate zero (they stall; they do not free their other
+            links' shares for ever — they simply hold no bandwidth).
+        paths: participant key → the directed links the participant's
+            traffic crosses.  Keys must be mutually sortable (the engine
+            uses ``(flow_id, subflow_index)`` tuples).  Duplicate links in
+            one path are collapsed — a participant cannot congest a link
+            with itself twice.
+        weights: participant key → positive weight (defaults to 1.0 for
+            every participant).  Shares on a contended link are allocated
+            proportionally to weight.
+
+    Returns:
+        participant key → allocated rate (bits/s), with the guarantees the
+        property tests pin: per-link allocations sum to at most the link's
+        capacity, and every participant is bottlenecked — its path crosses
+        at least one saturated link, or only dead links stalled it.
+    """
+    link_sets: Dict[Key, Tuple[str, ...]] = {}
+    rates: Dict[Key, float] = {}
+    remaining: Dict[str, float] = {}
+    for key in sorted(paths):
+        links = tuple(dict.fromkeys(paths[key]))
+        if not links:
+            raise ValueError(f"participant {key!r} has an empty path")
+        for link in links:
+            if link not in remaining:
+                if link not in capacities:
+                    raise ValueError(f"participant {key!r} crosses unknown link {link!r}")
+                remaining[link] = max(0.0, float(capacities[link]))
+        link_sets[key] = links
+        rates[key] = 0.0
+
+    weight_of: Dict[Key, float] = {}
+    for key in sorted(link_sets):
+        weight = 1.0 if weights is None else float(weights[key])
+        if weight <= 0:
+            raise ValueError(f"participant {key!r} has non-positive weight {weight!r}")
+        weight_of[key] = weight
+
+    # Participants whose path crosses a dead link never receive bandwidth.
+    active = [
+        key
+        for key in sorted(link_sets)
+        if all(remaining[link] > 0.0 for link in link_sets[key])
+    ]
+
+    while active:
+        # Aggregate unfrozen weight per link, then find the link that
+        # saturates first when every unfrozen participant grows its rate by
+        # ``weight * increment``.
+        link_weight: Dict[str, float] = {}
+        for key in active:
+            weight = weight_of[key]
+            for link in link_sets[key]:
+                link_weight[link] = link_weight.get(link, 0.0) + weight
+        bottleneck = ""
+        increment = -1.0
+        for link in sorted(link_weight):
+            share = remaining[link] / link_weight[link]
+            if increment < 0.0 or share < increment:
+                increment = share
+                bottleneck = link
+
+        saturated = set()
+        for link in sorted(link_weight):
+            remaining[link] -= increment * link_weight[link]
+            tolerance = _SATURATION_EPSILON * max(1.0, float(capacities[link]))
+            if remaining[link] <= tolerance:
+                remaining[link] = 0.0
+                saturated.add(link)
+        # The arg-min link is saturated by construction; force it in case
+        # round-off left a residual just above the tolerance.
+        saturated.add(bottleneck)
+
+        still_active = []
+        for key in active:
+            rates[key] += increment * weight_of[key]
+            if not saturated.isdisjoint(link_sets[key]):
+                continue
+            still_active.append(key)
+        active = still_active
+
+    return rates

@@ -40,7 +40,10 @@ from typing import Any, Mapping, Optional, Sequence
 #: v3: FaultEvent grew ``duration_s`` / ``new_address`` (mobility verbs), so
 #: the serialised form of every fault schedule — and therefore the key of
 #: any config that has one — changed.
-STORE_SCHEMA_VERSION = 3
+#: v4: ExperimentConfig grew the ``fidelity`` axis (packet vs flow-level
+#: engine), so every config's serialised field set — and therefore every
+#: key — changed.
+STORE_SCHEMA_VERSION = 4
 
 
 def to_jsonable(value: Any, _path: str = "$") -> Any:

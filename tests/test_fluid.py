@@ -1,0 +1,138 @@
+"""Property tests for the weighted max-min fair-share solver.
+
+The fluid tier's entire bandwidth model reduces to
+:func:`repro.sim.fluid.max_min_rates`; these properties pin the two
+invariants every allocation must satisfy — feasibility (no link carries more
+than its capacity) and work conservation (every participant is bottlenecked
+somewhere on its path) — plus the weighted-fairness and dead-link behaviour
+the engine's multipath coupling relies on.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.fluid import max_min_rates
+
+_LINKS = ("l0", "l1", "l2", "l3", "l4")
+
+_capacities = st.fixed_dictionaries(
+    {name: st.floats(min_value=1e3, max_value=1e9) for name in _LINKS}
+)
+
+_paths = st.dictionaries(
+    keys=st.integers(min_value=0, max_value=15),
+    values=st.lists(st.sampled_from(_LINKS), min_size=1, max_size=4),
+    min_size=1,
+    max_size=8,
+)
+
+_weights_values = st.floats(min_value=0.1, max_value=8.0)
+
+
+@given(capacities=_capacities, paths=_paths, data=st.data())
+@settings(max_examples=200, deadline=None)
+def test_feasible_and_work_conserving(capacities, paths, data) -> None:
+    """Per-link load never exceeds capacity; every participant is bottlenecked."""
+    weights = {
+        key: data.draw(_weights_values, label=f"weight[{key}]") for key in paths
+    }
+    rates = max_min_rates(capacities, paths, weights)
+
+    assert set(rates) == set(paths)
+    assert all(rate >= 0.0 for rate in rates.values())
+
+    load = {name: 0.0 for name in _LINKS}
+    for key, path in paths.items():
+        for link in dict.fromkeys(path):  # a repeated link counts once
+            load[link] += rates[key]
+    for name in _LINKS:
+        assert load[name] <= capacities[name] * (1.0 + 1e-9)
+
+    # Work conservation: every participant crosses at least one saturated
+    # link — otherwise its rate could still be raised, contradicting max-min.
+    for key, path in paths.items():
+        assert any(
+            load[link] >= capacities[link] * (1.0 - 1e-6) for link in path
+        ), f"participant {key} is not bottlenecked anywhere on {path}"
+
+
+@given(
+    capacity=st.floats(min_value=1e3, max_value=1e9),
+    count=st.integers(min_value=1, max_value=12),
+)
+@settings(max_examples=100, deadline=None)
+def test_equal_weights_share_a_single_link_equally(capacity, count) -> None:
+    paths = {index: ["only"] for index in range(count)}
+    rates = max_min_rates({"only": capacity}, paths)
+    expected = capacity / count
+    for rate in rates.values():
+        assert rate == pytest.approx(expected, rel=1e-9)
+
+
+def test_weighted_shares_follow_the_weight_ratio() -> None:
+    rates = max_min_rates(
+        {"only": 100.0},
+        {"light": ["only"], "heavy": ["only"]},
+        {"light": 1.0, "heavy": 3.0},
+    )
+    assert rates["light"] == pytest.approx(25.0)
+    assert rates["heavy"] == pytest.approx(75.0)
+
+
+def test_multipath_coupling_weighs_like_one_flow() -> None:
+    """Two 1/2-weight subflows sharing a bottleneck with one whole flow:
+    the multipath flow gets half the link in aggregate, as MPTCP's coupled
+    congestion control intends."""
+    rates = max_min_rates(
+        {"shared": 100.0},
+        {("mp", 0): ["shared"], ("mp", 1): ["shared"], ("tcp", 0): ["shared"]},
+        {("mp", 0): 0.5, ("mp", 1): 0.5, ("tcp", 0): 1.0},
+    )
+    assert rates[("mp", 0)] + rates[("mp", 1)] == pytest.approx(50.0)
+    assert rates[("tcp", 0)] == pytest.approx(50.0)
+
+
+def test_multipath_fills_a_disjoint_path_beyond_the_coupled_share() -> None:
+    """A subflow on an uncontended path is not held back by its sibling's
+    bottleneck: weighted max-min still fills the empty path."""
+    rates = max_min_rates(
+        {"contended": 100.0, "empty": 100.0},
+        {("mp", 0): ["contended"], ("mp", 1): ["empty"], ("tcp", 0): ["contended"]},
+        {("mp", 0): 0.5, ("mp", 1): 0.5, ("tcp", 0): 1.0},
+    )
+    assert rates[("mp", 1)] == pytest.approx(100.0)
+    assert rates[("mp", 0)] + rates[("tcp", 0)] == pytest.approx(100.0)
+
+
+def test_two_link_path_is_limited_by_the_tighter_link() -> None:
+    rates = max_min_rates(
+        {"wide": 100.0, "narrow": 10.0}, {"flow": ["wide", "narrow"]}
+    )
+    assert rates["flow"] == pytest.approx(10.0)
+
+
+def test_dead_link_pins_participants_to_zero() -> None:
+    rates = max_min_rates(
+        {"dead": 0.0, "live": 100.0},
+        {"stalled": ["dead", "live"], "ok": ["live"]},
+    )
+    assert rates["stalled"] == 0.0
+    assert rates["ok"] == pytest.approx(100.0)
+
+
+def test_unknown_link_and_empty_path_are_rejected() -> None:
+    with pytest.raises(ValueError):
+        max_min_rates({"a": 1.0}, {"flow": ["missing"]})
+    with pytest.raises(ValueError):
+        max_min_rates({"a": 1.0}, {"flow": []})
+    with pytest.raises(ValueError):
+        max_min_rates({"a": 1.0}, {"flow": ["a"]}, {"flow": 0.0})
+
+
+def test_allocation_is_deterministic_and_order_independent() -> None:
+    capacities = {"x": 50.0, "y": 75.0, "z": 100.0}
+    forward = {1: ["x", "y"], 2: ["y", "z"], 3: ["z"], 4: ["x"]}
+    backward = dict(reversed(list(forward.items())))
+    assert max_min_rates(capacities, forward) == max_min_rates(capacities, backward)

@@ -27,7 +27,7 @@ from repro.store import run_key, run_key_for_spec, workload_recipe
 #: The default tiny config's key, pinned.  If this changes, every existing
 #: store silently turns into a full miss — bump STORE_SCHEMA_VERSION when
 #: changing key derivation deliberately, and regenerate this literal.
-_TINY_CONFIG_KEY = "4c16ba0d1409c2fe835317c2ead21d6ab7d7d75fe0f7aa777e049cbdd10bd68e"
+_TINY_CONFIG_KEY = "70b09b1c6b64550261587c6f37bd2925a2d1e1bdcf16bcbed49b73310ccb7efb"
 
 #: One valid alternate value per ExperimentConfig field.  The completeness
 #: test below fails when a new config field is added without extending this
@@ -69,6 +69,7 @@ _FIELD_CHANGES = {
     "seed": 2,
     "max_events": 100,
     "wallclock_limit_s": 5.0,
+    "fidelity": "flow",
 }
 
 
