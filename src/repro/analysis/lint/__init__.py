@@ -18,6 +18,7 @@ unknown rule is itself an error, so suppressions cannot rot silently.
 from repro.analysis.lint import (
     rules_determinism,
     rules_json,
+    rules_mutation,
     rules_pool,
     rules_schema,
     rules_store,

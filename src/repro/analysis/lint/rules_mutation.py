@@ -1,0 +1,120 @@
+"""Rule: no mutating a container inside a loop that iterates it.
+
+Mutating a dict or set while iterating it raises ``RuntimeError`` at best —
+and at worst silently skips or repeats elements when the container resizes,
+which in ``repro/sim`` and ``repro/net`` means event handlers fire for a
+stale membership snapshot and traces drift between runs.  The safe idioms
+are all cheap: iterate a snapshot (``list(obj)``, ``sorted(obj)``,
+``tuple(obj)``), collect victims and mutate after the loop, or restructure
+as a ``while`` over an explicit worklist.
+
+The check is a deliberate static approximation: it matches the *textual*
+dotted path of the iterated expression (``self._active``,
+``self._active.items()``) against mutator calls and subscript writes on the
+same path inside the loop body.  Aliasing (``items = self._active`` then
+mutating ``self._active``) is out of reach, as is mutation behind a helper
+call — runtime ``RuntimeError`` still covers those.  In-place value updates
+(``counts[key] += 1``) are allowed: they cannot resize the container.
+"""
+
+import ast
+from typing import Iterator, Optional
+
+from repro.analysis.lint.core import LintRule, ModuleContext, Violation, register
+
+#: dict/set methods that add or remove elements (resize the container).
+MUTATOR_METHODS = frozenset(
+    {"add", "clear", "discard", "pop", "popitem", "remove", "setdefault", "update"}
+)
+
+#: Wrapping the iterable in one of these takes a snapshot, so mutating the
+#: original container inside the loop is safe.
+_SNAPSHOT_WRAPPERS = frozenset({"list", "sorted", "tuple"})
+
+#: Zero-argument view methods that iterate the receiver itself.
+_VIEW_METHODS = frozenset({"items", "keys", "values"})
+
+
+def _dotted(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` as a string for Name/Attribute chains, else None."""
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def _iterated_container(iter_node: ast.AST) -> Optional[str]:
+    """The dotted path of the live container a loop iterates, if any.
+
+    ``for x in obj`` and ``for x in obj.items()/keys()/values()`` both
+    iterate ``obj`` directly; ``for x in list(obj)`` iterates a snapshot and
+    returns None, as does anything too dynamic to name statically.
+    """
+    if isinstance(iter_node, ast.Call):
+        func = iter_node.func
+        if isinstance(func, ast.Name) and func.id in _SNAPSHOT_WRAPPERS:
+            return None
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in _VIEW_METHODS
+            and not iter_node.args
+            and not iter_node.keywords
+        ):
+            return _dotted(func.value)
+        return None
+    return _dotted(iter_node)
+
+
+def _mutation_label(node: ast.AST, container: str) -> Optional[str]:
+    """How ``node`` mutates ``container``, or None when it does not."""
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+        if node.func.attr in MUTATOR_METHODS and _dotted(node.func.value) == container:
+            return f"{container}.{node.func.attr}(...)"
+    if isinstance(node, ast.Assign):
+        for target in node.targets:
+            if isinstance(target, ast.Subscript) and _dotted(target.value) == container:
+                return f"assignment to {container}[...]"
+    if isinstance(node, ast.Delete):
+        for target in node.targets:
+            if isinstance(target, ast.Subscript) and _dotted(target.value) == container:
+                return f"del {container}[...]"
+    return None
+
+
+@register
+class NoMutationDuringIteration(LintRule):
+    name = "no-mutation-during-iteration"
+    description = (
+        "mutating a dict/set while looping over it (or its .items()/.keys()/"
+        ".values() view) in repro/sim and repro/net skips or repeats elements; "
+        "iterate a list(...)/sorted(...) snapshot or mutate after the loop"
+    )
+
+    _SCOPES = ("repro/sim", "repro/net")
+
+    def violations(self, ctx: ModuleContext) -> Iterator[Violation]:
+        if not any(ctx.in_package(scope) for scope in self._SCOPES):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.For, ast.AsyncFor)):
+                continue
+            container = _iterated_container(node.iter)
+            if container is None:
+                continue
+            # Only the loop body runs mid-iteration; orelse runs after the
+            # iterator is exhausted, where mutation is safe again.
+            for statement in node.body:
+                for inner in ast.walk(statement):
+                    label = _mutation_label(inner, container)
+                    if label is not None:
+                        yield self.violation(
+                            ctx,
+                            inner,
+                            f"{label} resizes the container this loop iterates; "
+                            "iterate a list(...)/sorted(...) snapshot or collect "
+                            "changes and apply them after the loop",
+                        )

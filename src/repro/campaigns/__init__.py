@@ -28,6 +28,7 @@ from repro.campaigns.runner import (
     outcome_report,
     params_label,
     run_campaign,
+    status_summary_rows,
 )
 from repro.campaigns.spec import CAMPAIGN_SCALES, CampaignSpec, campaign_base_config
 
@@ -50,4 +51,5 @@ __all__ = [
     "outcome_report",
     "params_label",
     "run_campaign",
+    "status_summary_rows",
 ]

@@ -213,11 +213,24 @@ def _cell_from(spec: RunSpec, key: str, result: ExperimentResult, cached: bool) 
 # ---------------------------------------------------------------------------
 
 
+def _cell_coordinates(run_spec: RunSpec, key: str) -> Dict[str, Any]:
+    """The stable identity fields every progress event carries for a cell."""
+    return {
+        "index": run_spec.index,
+        "key": key,
+        "scenario": run_spec.tag["scenario"],
+        "protocol": run_spec.tag["protocol"],
+        "params": dict(run_spec.tag["params"]),
+        "replication": run_spec.tag["replication"],
+    }
+
+
 def run_campaign(
     spec: CampaignSpec,
     store: RunStore,
     workers: Optional[int] = 1,
     progress: Optional[Callable[[RunSpec], None]] = None,
+    events: Optional[Callable[[Dict[str, Any]], None]] = None,
 ) -> CampaignOutcome:
     """Execute ``spec`` against ``store`` and return all cells in order.
 
@@ -226,11 +239,28 @@ def run_campaign(
     ``workers`` allows — and each one is persisted atomically as soon as it
     completes, so an interrupted campaign resumes from every cell that
     finished before the interruption.
+
+    ``events`` (optional) receives one structured dict per campaign
+    progress event: ``campaign_start``, ``cell_hit`` (declared order),
+    ``cell_start`` (dispatch order), ``cell_finish`` (completion order —
+    under a process pool this order is timing-dependent), and
+    ``campaign_finish``.  Progress events are operator telemetry: the
+    per-cell wall-clock travels under a ``diagnostics`` key, and the stream
+    is never part of a byte-compare surface.
     """
-    resolve_workers(workers)  # fail fast on nonsense values
+    worker_count = resolve_workers(workers)  # fail fast on nonsense values
     run_specs = campaign_run_specs(spec)
     keys = campaign_keys(run_specs)
     cells: List[Optional[CampaignCell]] = [None] * len(run_specs)
+    if events is not None:
+        events(
+            {
+                "event": "campaign_start",
+                "campaign": spec.name,
+                "cells": len(run_specs),
+                "workers": worker_count,
+            }
+        )
 
     misses: List[RunSpec] = []
     hit_entries: Dict[str, Dict[str, Any]] = {}
@@ -242,6 +272,8 @@ def run_campaign(
         cells[run_spec.index] = _cell_from(
             run_spec, key, result_from_dict(artifact["payload"]), cached=True
         )
+        if events is not None:
+            events({"event": "cell_hit", **_cell_coordinates(run_spec, key)})
         # Claim the cell for this campaign: gc is scoped by the most recent
         # user's label, so a campaign that *hits* a shared cell protects it
         # exactly like the one that simulated it.  The claim is durable —
@@ -257,6 +289,17 @@ def run_campaign(
         key_by_index = {run_spec.index: keys[run_spec.index] for run_spec in misses}
         index_entries: Dict[str, Dict[str, Any]] = {}
 
+        def dispatch(run_spec: RunSpec) -> None:
+            if events is not None:
+                events(
+                    {
+                        "event": "cell_start",
+                        **_cell_coordinates(run_spec, key_by_index[run_spec.index]),
+                    }
+                )
+            if progress is not None:
+                progress(run_spec)
+
         def persist(run_spec: RunSpec, result: ExperimentResult) -> None:
             key = key_by_index[run_spec.index]
             # Index updates are batched into one write after the sweep: the
@@ -265,9 +308,19 @@ def run_campaign(
             _, index_entries[key] = store.put_entry(
                 key, result, meta=_cell_meta(spec, run_spec)
             )
+            if events is not None:
+                events(
+                    {
+                        "event": "cell_finish",
+                        **_cell_coordinates(run_spec, key),
+                        "events_processed": result.events_processed,
+                        # Wall-clock is diagnostics-only, like everywhere else.
+                        "diagnostics": {"wallclock_s": result.wallclock_s},
+                    }
+                )
 
         try:
-            results = SweepRunner(workers).run(misses, progress=progress, on_result=persist)
+            results = SweepRunner(workers).run(misses, progress=dispatch, on_result=persist)
         finally:
             # Even an interrupted sweep indexes the cells it did persist.
             if index_entries:
@@ -277,7 +330,18 @@ def run_campaign(
                 run_spec, key_by_index[run_spec.index], result, cached=False
             )
 
-    return CampaignOutcome(spec=spec, cells=[cell for cell in cells if cell is not None])
+    outcome = CampaignOutcome(spec=spec, cells=[cell for cell in cells if cell is not None])
+    if events is not None:
+        events(
+            {
+                "event": "campaign_finish",
+                "campaign": spec.name,
+                "cells": len(outcome.cells),
+                "cache_hits": outcome.cache_hits,
+                "simulated": outcome.simulated,
+            }
+        )
+    return outcome
 
 
 # ---------------------------------------------------------------------------
@@ -303,6 +367,30 @@ def _statuses_for(run_specs: Sequence[RunSpec], store: RunStore) -> List[CellSta
 def campaign_status(spec: CampaignSpec, store: RunStore) -> List[CellStatus]:
     """Which declared cells are persisted, without running anything."""
     return _statuses_for(campaign_run_specs(spec), store)
+
+
+def status_summary_rows(statuses: Sequence[CellStatus]) -> List[Dict[str, object]]:
+    """Per-(scenario, protocol) completion counts in first-seen (declared) order.
+
+    The ``campaign status --summary`` table: one row per coordinate with
+    declared/stored/missing cell counts.  Derived purely from the statuses,
+    so it is byte-stable for a given spec and store state.
+    """
+    rows: Dict[Any, Dict[str, object]] = {}
+    for status in statuses:
+        key = (status.scenario, status.protocol)
+        row = rows.get(key)
+        if row is None:
+            row = rows[key] = {
+                "scenario": status.scenario,
+                "protocol": status.protocol,
+                "cells": 0,
+                "stored": 0,
+                "missing": 0,
+            }
+        row["cells"] += 1
+        row["stored" if status.stored else "missing"] += 1
+    return list(rows.values())
 
 
 def load_campaign_cells(spec: CampaignSpec, store: RunStore) -> List[CampaignCell]:

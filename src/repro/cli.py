@@ -21,7 +21,13 @@ Exposes the experiment harness without writing any Python::
     repro-mmptcp campaign status --store results/store
     repro-mmptcp campaign report --store results/store --output report.md
     repro-mmptcp campaign gc --store results/store
+    repro-mmptcp campaign run --store results/store --progress-events events.jsonl
+    repro-mmptcp campaign status --store results/store --summary
     repro-mmptcp store verify --store results/store --budget 100000000
+    repro-mmptcp store gc --store results/store --budget 100000000 --dry-run
+    repro-mmptcp run --probes all --profile --telemetry-out run.telemetry.jsonl
+    repro-mmptcp scenarios matrix --probes transport faults --telemetry-dir results/
+    repro-mmptcp trace export run.telemetry.jsonl --output run.trace.json
 
 Every sub-command prints the same tables the corresponding benchmark prints
 and can optionally export per-flow CSVs / JSON summaries via
@@ -31,6 +37,7 @@ and can optionally export per-flow CSVs / JSON summaries via
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence
@@ -53,6 +60,7 @@ from repro.campaigns import (
     outcome_report,
     params_label,
     run_campaign,
+    status_summary_rows,
 )
 from repro.experiments.coexistence import coexistence_rows, run_coexistence_experiment
 from repro.experiments.config import (
@@ -70,11 +78,21 @@ from repro.experiments.parallel import workers_argument_type
 from repro.experiments.runner import ExperimentResult, run_experiment
 from repro.experiments.section3 import section3_statistics
 from repro.metrics.export import (
+    dumps_deterministic,
     write_flow_records_csv,
     write_series_csv,
     write_summary_json,
 )
 from repro.metrics.reporting import render_table
+from repro.obs import (
+    ALL_GROUPS,
+    PROBE_GROUPS,
+    chrome_trace_document,
+    make_recorder,
+    probe_groups_argument,
+    telemetry_jsonl,
+    telemetry_records,
+)
 from repro.scenarios import (
     DEFAULT_MATRIX_PROTOCOLS,
     DEFAULT_MATRIX_SCENARIOS,
@@ -194,6 +212,33 @@ def _rows_table(rows: List[Dict[str, object]]) -> str:
     return render_table(headers, body)
 
 
+def _probe_groups_from_args(args: argparse.Namespace):
+    """The validated, sorted-deduplicated ``--probes`` tuple (empty = off)."""
+    groups = getattr(args, "probes", None)
+    if not groups:
+        return ()
+    return probe_groups_argument(groups)
+
+
+def _telemetry_text(result: ExperimentResult, recorder, label: str) -> str:
+    """One run's telemetry JSONL: recorder content, else a bare diagnostics line."""
+    if recorder is not None:
+        return telemetry_jsonl(
+            telemetry_records(recorder, label=label, diagnostics=result.diagnostics)
+        )
+    return telemetry_jsonl([{"kind": "diagnostics", "diagnostics": result.diagnostics}])
+
+
+def _print_diagnostics(result: ExperimentResult) -> None:
+    """One-line ``--profile`` summary (full detail lives in the telemetry output)."""
+    diagnostics = result.diagnostics
+    if not diagnostics:
+        return
+    print(f"profile: events={diagnostics['events_processed']} "
+          f"us_per_event={diagnostics['us_per_event']:.3f} "
+          f"handlers={len(diagnostics['handlers'])}")
+
+
 # ---------------------------------------------------------------------------
 # Sub-command implementations
 # ---------------------------------------------------------------------------
@@ -201,11 +246,21 @@ def _rows_table(rows: List[Dict[str, object]]) -> str:
 
 def _cmd_run(args: argparse.Namespace) -> int:
     config = _config_from_args(args)
+    if args.telemetry_out and not (args.probes or args.profile):
+        return _command_error(
+            "run: --telemetry-out needs --probes and/or --profile to record anything")
     print(f"running protocol={config.protocol} subflows={config.num_subflows} "
           f"k={config.fattree_k} hosts/edge={config.hosts_per_edge} seed={config.seed}")
-    result = run_experiment(config)
+    recorder = make_recorder(_probe_groups_from_args(args))
+    result = run_experiment(config, probes=recorder, profile=args.profile)
     _print_summary(result)
+    _print_diagnostics(result)
     _maybe_export(result, args.export_dir, f"run_{config.protocol}")
+    if args.telemetry_out:
+        path = Path(args.telemetry_out)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(_telemetry_text(result, recorder, f"run_{config.protocol}"))
+        print(f"wrote {path}")
     return 0
 
 
@@ -374,7 +429,15 @@ def _cmd_scenarios_run(args: argparse.Namespace) -> int:
 def _cmd_scenarios_matrix(args: argparse.Namespace) -> int:
     base = _scenario_scaled_config(args.scale, args.seed)
     base = base.with_updates(**_transport_matrix_overrides(args))
-    runner = ScenarioMatrixRunner(base, workers=args.workers)
+    if args.telemetry_dir and not (args.probes or args.profile):
+        return _command_error(
+            "scenarios matrix: --telemetry-dir needs --probes and/or --profile")
+    runner = ScenarioMatrixRunner(
+        base,
+        workers=args.workers,
+        probes=_probe_groups_from_args(args),
+        profile=args.profile,
+    )
     try:
         cells = runner.run(scenarios=tuple(args.scenarios), protocols=tuple(args.transports))
     except KeyError as exc:
@@ -392,6 +455,17 @@ def _cmd_scenarios_matrix(args: argparse.Namespace) -> int:
         print(f"(no delta table: baseline protocol {baseline!r} is not among "
               f"the requested transports {list(args.transports)})")
     _export_rows(rows, args.export_dir, "scenario_matrix")
+    if args.telemetry_dir:
+        directory = Path(args.telemetry_dir)
+        directory.mkdir(parents=True, exist_ok=True)
+        written = 0
+        for cell in cells:
+            if cell.result.telemetry is None:
+                continue
+            path = directory / f"telemetry_{cell.scenario}_{cell.protocol}.jsonl"
+            path.write_text(telemetry_jsonl(cell.result.telemetry))
+            written += 1
+        print(f"wrote telemetry for {written} cell(s) to {directory}")
     return 0
 
 
@@ -456,7 +530,26 @@ def _campaign_summary_line(name: str, cells: int, hits: int, simulated: int, sto
 
 def _cmd_campaign_run(args: argparse.Namespace) -> int:
     def body(spec: CampaignSpec, store: RunStore) -> int:
-        outcome = run_campaign(spec, store, workers=args.workers)
+        emit_event = None
+        events_file = None
+        if args.progress_events:
+            events_path = Path(args.progress_events)
+            events_path.parent.mkdir(parents=True, exist_ok=True)
+            events_file = events_path.open("w", encoding="utf-8")
+
+            def emit_event(event: Dict[str, object]) -> None:
+                # One compact deterministic-dump line per event, flushed
+                # immediately so a tailing operator sees progress live.
+                events_file.write(dumps_deterministic(event, indent=None))
+                events_file.flush()
+
+        try:
+            outcome = run_campaign(spec, store, workers=args.workers, events=emit_event)
+        finally:
+            if events_file is not None:
+                events_file.close()
+        if args.progress_events:
+            print(f"wrote {args.progress_events}")
         rows = campaign_rows(outcome.cells)
         print(f"Campaign '{spec.name}' — {len(spec.scenarios)} scenario(s) × "
               f"{len(spec.protocols)} transport(s) × {len(spec.sweep_points())} sweep "
@@ -486,17 +579,20 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
 def _cmd_campaign_status(args: argparse.Namespace) -> int:
     def body(spec: CampaignSpec, store: RunStore) -> int:
         statuses = campaign_status(spec, store)
-        rows = [
-            {
-                "scenario": status.scenario,
-                "protocol": status.protocol,
-                "params": params_label(status.params),
-                "replication": status.replication,
-                "stored": status.stored,
-                "key": status.key[:12],
-            }
-            for status in statuses
-        ]
+        if args.summary:
+            rows = status_summary_rows(statuses)
+        else:
+            rows = [
+                {
+                    "scenario": status.scenario,
+                    "protocol": status.protocol,
+                    "params": params_label(status.params),
+                    "replication": status.replication,
+                    "stored": status.stored,
+                    "key": status.key[:12],
+                }
+                for status in statuses
+            ]
         print(f"Campaign '{spec.name}' store status — {args.store}")
         print(_rows_table(rows))
         stored = sum(1 for status in statuses if status.stored)
@@ -578,19 +674,85 @@ def _cmd_store_verify(args: argparse.Namespace) -> int:
               f"({100.0 * total_bytes / args.budget:.1f}% used)")
         if total_bytes > args.budget:
             excess = total_bytes - args.budget
-            victims = []
-            freed = 0
-            # Oldest-touched first, key as the deterministic tie-break.
-            for key, size, _mtime, _err in sorted(entries, key=lambda e: (e[2], e[0])):
-                if freed >= excess:
-                    break
-                victims.append((key, size))
-                freed += size
-            print(f"over budget by {excess} bytes; an LRU sweep would evict "
-                  f"{len(victims)} artifact(s) freeing {freed} bytes:")
-            for key, size in victims:
-                print(f"  evict {key} ({size} bytes)")
+            # Preview via the exact selection 'store gc --budget' would make:
+            # same (mtime, key) LRU order, same stop condition.
+            sizes = {key: size for key, size, _, _ in entries}
+            try:
+                victims = store.gc_budget(args.budget, dry_run=True)
+            except (StoreError, OSError) as exc:
+                return _command_error(f"store verify failed: {exc}")
+            freed = sum(sizes.get(key, 0) for key in victims)
+            print(f"over budget by {excess} bytes; 'store gc --budget "
+                  f"{args.budget}' would evict {len(victims)} artifact(s) "
+                  f"freeing {freed} bytes:")
+            for key in victims:
+                print(f"  evict {key} ({sizes.get(key, 0)} bytes)")
     return 2 if corrupt else 0
+
+
+def _cmd_store_gc(args: argparse.Namespace) -> int:
+    """Evict least-recently-used artifacts until the store fits ``--budget``.
+
+    The destructive counterpart of the ``store verify --budget`` preview:
+    both rank artifacts by the same deterministic ``(mtime, key)`` LRU order
+    (:meth:`RunStore.lru_entries`), so the preview names exactly the keys
+    this sweep deletes.  ``--dry-run`` lists the victims without touching
+    the store.
+    """
+    if args.budget < 0:
+        return _command_error("store gc: --budget must be a non-negative byte count")
+    try:
+        store = RunStore(args.store)
+        sizes = {key: size for key, size, _ in store.lru_entries()}
+        victims = store.gc_budget(args.budget, dry_run=args.dry_run)
+    except (StoreError, OSError) as exc:
+        return _command_error(f"store gc failed: {exc}")
+    verb = "would evict" if args.dry_run else "evicted"
+    freed = 0
+    for key in victims:
+        size = sizes.get(key, 0)
+        freed += size
+        print(f"{verb} {key} ({size} bytes)")
+    print(f"store '{args.store}' gc: {verb} {len(victims)} artifact(s) "
+          f"freeing {freed} bytes against budget {args.budget}")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# Trace commands
+# ---------------------------------------------------------------------------
+
+
+def _cmd_trace_export(args: argparse.Namespace) -> int:
+    """Convert a telemetry JSONL file into a Chrome trace-event document.
+
+    The output loads directly in ``chrome://tracing`` or Perfetto's legacy
+    JSON importer: series samples become counter tracks, probe and fault
+    events become instants, and counters/diagnostics ride along under
+    ``otherData``.
+    """
+    try:
+        text = Path(args.input).read_text(encoding="utf-8")
+    except OSError as exc:
+        return _command_error(f"trace export failed: {exc}")
+    records = []
+    for number, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError as exc:
+            return _command_error(f"trace export failed: {args.input}:{number}: {exc}")
+    try:
+        document = chrome_trace_document(records)
+    except (KeyError, TypeError, ValueError) as exc:
+        return _command_error(
+            f"trace export failed: {args.input} is not a telemetry JSONL file ({exc})")
+    output = Path(args.output)
+    output.parent.mkdir(parents=True, exist_ok=True)
+    output.write_text(dumps_deterministic(document, indent=2))
+    print(f"wrote {output} ({len(document['traceEvents'])} trace event(s))")
+    return 0
 
 
 # ---------------------------------------------------------------------------
@@ -632,6 +794,19 @@ def _add_transport_matrix_arguments(parser: argparse.ArgumentParser) -> None:
     _add_fidelity_argument(parser)
 
 
+def _add_probe_arguments(parser: argparse.ArgumentParser) -> None:
+    """``--probes`` / ``--profile``: the observability opt-ins (default off)."""
+    parser.add_argument("--probes", nargs="+", metavar="GROUP", default=None,
+                        choices=(ALL_GROUPS,) + PROBE_GROUPS,
+                        help="record telemetry probe groups ('all' or any of: "
+                             + ", ".join(PROBE_GROUPS) + "); metrics, goldens "
+                             "and store keys are unchanged either way")
+    parser.add_argument("--profile", action="store_true",
+                        help="profile the event loop; the diagnostics record is "
+                             "wall-clock-bearing and excluded from store keys "
+                             "and byte-compare surfaces")
+
+
 def _add_common_arguments(parser: argparse.ArgumentParser, workers: bool = False) -> None:
     parser.add_argument("--scale", choices=SCALES, default="quick",
                         help="experiment scale (quick/large/paper)")
@@ -670,6 +845,10 @@ def build_parser() -> argparse.ArgumentParser:
                             choices=("data_volume", "congestion_event", "hybrid", "never"),
                             default=None)
     _add_transport_matrix_arguments(run_parser)
+    _add_probe_arguments(run_parser)
+    run_parser.add_argument("--telemetry-out", default=None, metavar="FILE",
+                            help="write the run's telemetry JSONL here "
+                                 "(needs --probes and/or --profile)")
     run_parser.set_defaults(handler=_cmd_run)
 
     fig1a = subparsers.add_parser("figure1a", help="regenerate Figure 1(a)")
@@ -767,6 +946,10 @@ def build_parser() -> argparse.ArgumentParser:
     scen_matrix.add_argument("--baseline-protocol", default="tcp", choices=ALL_PROTOCOLS,
                              help="protocol the delta columns compare against")
     _add_scenario_arguments(scen_matrix, workers=True)
+    _add_probe_arguments(scen_matrix)
+    scen_matrix.add_argument("--telemetry-dir", default=None, metavar="DIR",
+                             help="write one telemetry JSONL per cell here "
+                                  "(needs --probes and/or --profile)")
     scen_matrix.set_defaults(handler=_cmd_scenarios_matrix)
 
     lint = subparsers.add_parser(
@@ -792,6 +975,34 @@ def build_parser() -> argparse.ArgumentParser:
                               help="also report size usage against a byte budget "
                                    "and preview an LRU eviction (nothing is deleted)")
     store_verify.set_defaults(handler=_cmd_store_verify)
+
+    store_gc = store_sub.add_parser(
+        "gc",
+        help="evict least-recently-used artifacts until the store fits a byte budget")
+    store_gc.add_argument("--store", required=True,
+                          help="run-store directory to sweep")
+    store_gc.add_argument("--budget", type=int, required=True, metavar="BYTES",
+                          help="target store size; oldest-touched artifacts are "
+                               "evicted in deterministic (mtime, key) order "
+                               "until the rest fits")
+    store_gc.add_argument("--dry-run", action="store_true",
+                          help="list the eviction victims without deleting them")
+    store_gc.set_defaults(handler=_cmd_store_gc)
+
+    trace_parser = subparsers.add_parser(
+        "trace", help="telemetry timeline tools")
+    trace_sub = trace_parser.add_subparsers(dest="trace_command", required=True)
+
+    trace_export = trace_sub.add_parser(
+        "export",
+        help="convert telemetry JSONL into Chrome trace-event / Perfetto JSON")
+    trace_export.add_argument("input",
+                              help="telemetry JSONL file (from --telemetry-out "
+                                   "or --telemetry-dir)")
+    trace_export.add_argument("--output", required=True,
+                              help="destination timeline JSON (open in "
+                                   "chrome://tracing or ui.perfetto.dev)")
+    trace_export.set_defaults(handler=_cmd_trace_export)
 
     campaign = subparsers.add_parser(
         "campaign",
@@ -837,11 +1048,20 @@ def build_parser() -> argparse.ArgumentParser:
                           help="also write the markdown report to this file")
     camp_run.add_argument("--export-dir", default=None,
                           help="directory for the per-cell CSV export (omit to skip)")
+    camp_run.add_argument("--progress-events", default=None, metavar="FILE",
+                          help="write structured JSONL progress events "
+                               "(campaign_start, cell_hit, cell_start, "
+                               "cell_finish, campaign_finish) to this file; "
+                               "operator telemetry in completion order, never "
+                               "a byte-compare surface")
     camp_run.set_defaults(handler=_cmd_campaign_run)
 
     camp_status = campaign_sub.add_parser(
         "status", help="show which cells are persisted, without running anything")
     _add_campaign_arguments(camp_status)
+    camp_status.add_argument("--summary", action="store_true",
+                             help="aggregate to one row per (scenario, protocol) "
+                                  "with stored/missing counts instead of per cell")
     camp_status.set_defaults(handler=_cmd_campaign_status)
 
     camp_report = campaign_sub.add_parser(

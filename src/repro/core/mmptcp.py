@@ -177,6 +177,15 @@ class MmptcpConnection(MptcpConnection):
             self.phase = PHASE_MPTCP
             self.switch_time = self.simulator.now
             self.switch_reason = "peer_readdressed"
+            if self.probes.enabled:
+                self.probes.count("phase.switches")
+                self.probes.event(
+                    "phase.switch",
+                    self.simulator.now,
+                    flow_id=self.flow_id,
+                    reason="peer_readdressed",
+                    bytes_in_scatter=self.bytes_in_scatter_phase,
+                )
             if self.trace.enabled:
                 self.trace.emit(
                     self.simulator.now,
@@ -197,6 +206,15 @@ class MmptcpConnection(MptcpConnection):
         self.phase = PHASE_MPTCP
         self.switch_time = self.simulator.now
         self.switch_reason = reason
+        if self.probes.enabled:
+            self.probes.count("phase.switches")
+            self.probes.event(
+                "phase.switch",
+                self.simulator.now,
+                flow_id=self.flow_id,
+                reason=reason,
+                bytes_in_scatter=self.bytes_in_scatter_phase,
+            )
         if self.trace.enabled:
             self.trace.emit(
                 self.simulator.now,

@@ -38,6 +38,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.runner import ExperimentResult, run_experiment
+from repro.obs.telemetry import make_recorder, telemetry_records
 from repro.sim.randomness import spawn_seeds
 
 
@@ -61,6 +62,12 @@ class RunSpec:
             ``workload_factory`` after the config.
         tag: free-form labels (e.g. the override dict or the sweep axes)
             carried through untouched so callers can re-associate results.
+        probes: telemetry probe groups to record for this point (empty =
+            probes off).  Observability-only: ``run_key_for_spec`` hashes
+            the config and workload recipe, so probing never changes a
+            store key.
+        profile: attach the engine profiler and ship its diagnostics on
+            the result (key-excluded, wall-clock-bearing).
     """
 
     index: int
@@ -69,16 +76,34 @@ class RunSpec:
     workload_args: Tuple[Any, ...] = ()
     workload_kwargs: Optional[Dict[str, Any]] = None
     tag: Optional[Dict[str, Any]] = None
+    probes: Tuple[str, ...] = ()
+    profile: bool = False
 
 
 def execute_spec(spec: RunSpec) -> ExperimentResult:
-    """Run one point.  Top-level so a process pool can pickle it."""
+    """Run one point.  Top-level so a process pool can pickle it.
+
+    When the spec asks for probes the recorder is built *inside* the worker
+    and its content travels back as rendered records
+    (:attr:`ExperimentResult.telemetry`) — recorders themselves never cross
+    the process boundary, so serial and pooled execution render identically.
+    """
     workload = None
     if spec.workload_factory is not None:
         workload = spec.workload_factory(
             spec.config, *spec.workload_args, **(spec.workload_kwargs or {})
         )
-    return run_experiment(spec.config, workload=workload)
+    recorder = make_recorder(spec.probes)
+    result = run_experiment(
+        spec.config, workload=workload, probes=recorder, profile=spec.profile
+    )
+    if recorder is not None:
+        result.telemetry = telemetry_records(
+            recorder, label=f"run{spec.index}", diagnostics=result.diagnostics
+        )
+    elif spec.profile and result.diagnostics is not None:
+        result.telemetry = [{"kind": "diagnostics", "diagnostics": result.diagnostics}]
+    return result
 
 
 def resolve_workers(workers: Optional[int]) -> int:

@@ -9,8 +9,8 @@ receiver state and switch counters into an :class:`ExperimentMetrics`.
 from __future__ import annotations
 
 import time as _wallclock
-from dataclasses import dataclass
-from typing import Callable, List, Optional
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
 
 from repro.core.mmptcp import MmptcpConnection, MmptcpReceiver, PacketScatterConnection
 from repro.core.phase_switching import (
@@ -46,7 +46,10 @@ from repro.metrics.collector import ExperimentMetrics
 from repro.metrics.records import FlowRecord
 from repro.net.faults import FaultInjector
 from repro.net.host import Host
+from repro.net.packet import default_pool, set_pool_profile
 from repro.net.queues import DropTailQueue, EcnQueue, SharedBufferPool, SharedBufferQueue
+from repro.obs.profiler import EngineProfiler, pool_counters, profile_diagnostics
+from repro.obs.telemetry import NULL_PROBES, TeeSink, TelemetryProbes, TelemetryRecorder
 from repro.sim.engine import Simulator
 from repro.sim.randomness import RandomStreams
 from repro.sim.tracing import NULL_SINK, TraceSink
@@ -86,13 +89,24 @@ class _FlowInstance:
 
 @dataclass
 class ExperimentResult:
-    """Metrics plus provenance for one run."""
+    """Metrics plus provenance for one run.
+
+    ``diagnostics`` and ``telemetry`` are observability side-channels: they
+    never participate in equality, are never serialised by
+    ``store/serialize.py`` and never reach a ``run_key`` — attaching probes
+    or the profiler cannot change what a run *is*, only what it reports.
+    """
 
     config: ExperimentConfig
     metrics: ExperimentMetrics
     events_processed: int
     wallclock_s: float
     workload_size: int
+    #: ``--profile`` output (the sanctioned wall-clock island), or None.
+    diagnostics: Optional[Dict[str, Any]] = field(default=None, compare=False, repr=False)
+    #: Rendered telemetry records (used to ferry a worker-side recorder's
+    #: content across the process boundary), or None.
+    telemetry: Optional[List[Dict[str, Any]]] = field(default=None, compare=False, repr=False)
 
 
 # ---------------------------------------------------------------------------
@@ -226,8 +240,26 @@ def create_flow(
     topology: Topology,
     simulator: Simulator,
     streams: RandomStreams,
+    probes: TelemetryProbes = NULL_PROBES,
 ) -> _FlowInstance:
     """Instantiate the sender and receiver endpoints for one flow spec."""
+    instance = _build_flow(spec, config, topology, simulator, streams)
+    if probes.enabled:
+        sender = instance.sender
+        if isinstance(sender, MptcpConnection):
+            sender.set_probes(probes)
+        else:
+            sender.probes = probes
+    return instance
+
+
+def _build_flow(
+    spec: FlowSpec,
+    config: ExperimentConfig,
+    topology: Topology,
+    simulator: Simulator,
+    streams: RandomStreams,
+) -> _FlowInstance:
     source = topology.node(spec.source)
     destination = topology.node(spec.destination)
     if not isinstance(source, Host) or not isinstance(destination, Host):
@@ -370,6 +402,8 @@ def run_experiment(
     workload: Optional[Workload] = None,
     topology_builder: Optional[Callable[..., Topology]] = None,
     trace: TraceSink = NULL_SINK,
+    probes: Optional[TelemetryRecorder] = None,
+    profile: bool = False,
 ) -> ExperimentResult:
     """Run one simulation described by ``config`` and return its metrics.
 
@@ -382,6 +416,11 @@ def run_experiment(
             :func:`build_topology`; called as ``builder(config, simulator)``).
         trace: sink receiving the run's trace events (drops, fault events,
             ...); the default null sink costs nothing.
+        probes: optional telemetry recorder; when given, every endpoint's
+            probe hooks feed it and the trace stream is teed into it,
+            without changing what ``trace`` itself observes.
+        profile: attach the engine profiler and return its ``diagnostics``
+            on the result (wall-clock-bearing, key-excluded).
     """
     if config.fidelity == FIDELITY_FLOW:
         if topology_builder is not None:
@@ -393,44 +432,73 @@ def run_experiment(
         # workload builders, so a top-level import would be a cycle.
         from repro.flowlevel.engine import run_flow_experiment
 
-        return run_flow_experiment(config, workload=workload, trace=trace)
+        return run_flow_experiment(
+            config, workload=workload, trace=trace, probes=probes, profile=profile
+        )
 
     # wallclock_s is a pure diagnostic: the store normalises it to 0.0 and no
     # metric derives from it, so the real-clock read cannot perturb results.
     # repro: allow[no-wallclock-or-global-random] -- diagnostic only
     wall_start = _wallclock.monotonic()
+    if probes is not None:
+        trace = TeeSink(trace, probes)
+    flow_probes = probes if probes is not None else NULL_PROBES
     simulator = Simulator()
-    streams = RandomStreams(config.seed)
-    if topology_builder is not None:
-        topology = topology_builder(config, simulator)
-    else:
-        topology = build_topology(config, simulator, trace)
-    if config.fault_schedule:
-        FaultInjector(simulator, topology, config.fault_schedule, trace=trace).arm()
-    if workload is None:
-        workload = build_workload(config, topology, streams)
+    profiler = None
+    pool = None
+    pool_baseline = None
+    pool_profile_was = False
+    if profile:
+        profiler = EngineProfiler()
+        simulator.profiler = profiler
+        pool = default_pool()
+        pool_profile_was = set_pool_profile(True)
+        pool_baseline = pool_counters(pool)
+    try:
+        streams = RandomStreams(config.seed)
+        if topology_builder is not None:
+            topology = topology_builder(config, simulator)
+        else:
+            topology = build_topology(config, simulator, trace)
+        if config.fault_schedule:
+            FaultInjector(simulator, topology, config.fault_schedule, trace=trace).arm()
+        if workload is None:
+            workload = build_workload(config, topology, streams)
 
-    instances: List[_FlowInstance] = []
-    for spec in workload.flows:
-        instance = create_flow(spec, config, topology, simulator, streams)
-        instances.append(instance)
-        simulator.schedule_at(spec.start_time, instance.sender.start)
+        instances: List[_FlowInstance] = []
+        for spec in workload.flows:
+            instance = create_flow(
+                spec, config, topology, simulator, streams, probes=flow_probes
+            )
+            instances.append(instance)
+            simulator.schedule_at(spec.start_time, instance.sender.start)
 
-    simulator.run(
-        until=config.horizon_s,
-        max_events=config.max_events,
-        wallclock_limit=config.wallclock_limit_s,
-    )
+        simulator.run(
+            until=config.horizon_s,
+            max_events=config.max_events,
+            wallclock_limit=config.wallclock_limit_s,
+        )
+    finally:
+        if profile:
+            set_pool_profile(pool_profile_was)
 
     metrics = ExperimentMetrics(duration_s=config.horizon_s)
     metrics.flows = [_record_for(instance) for instance in instances]
     metrics.network = topology.monitor().snapshot(config.horizon_s)
 
+    # repro: allow[no-wallclock-or-global-random] -- diagnostic only (above)
+    wallclock_s = _wallclock.monotonic() - wall_start
+    diagnostics = None
+    if profiler is not None:
+        diagnostics = profile_diagnostics(
+            profiler, simulator, wallclock_s, pool=pool, pool_baseline=pool_baseline
+        )
+
     return ExperimentResult(
         config=config,
         metrics=metrics,
         events_processed=simulator.events_processed,
-        # repro: allow[no-wallclock-or-global-random] -- diagnostic only (above)
-        wallclock_s=_wallclock.monotonic() - wall_start,
+        wallclock_s=wallclock_s,
         workload_size=len(workload.flows),
+        diagnostics=diagnostics,
     )

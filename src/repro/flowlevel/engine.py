@@ -47,6 +47,8 @@ from repro.experiments.config import ExperimentConfig
 from repro.metrics.collector import ExperimentMetrics
 from repro.metrics.records import FlowRecord
 from repro.net.monitor import LayerLossStats, NetworkSnapshot
+from repro.obs.profiler import EngineProfiler, profile_diagnostics
+from repro.obs.telemetry import NULL_PROBES, TeeSink, TelemetryProbes, TelemetryRecorder
 from repro.sim.engine import Simulator
 from repro.sim.fluid import max_min_rates
 from repro.sim.randomness import RandomStreams
@@ -104,11 +106,13 @@ class FlowLevelEngine:
         workload: Workload,
         streams: RandomStreams,
         trace: TraceSink = NULL_SINK,
+        probes: TelemetryProbes = NULL_PROBES,
     ) -> None:
         self.config = config
         self.fabric = fabric
         self.simulator = fabric.topology.simulator
         self.trace = trace
+        self.probes = probes
         rng = streams.stream("flowlevel")
         self.flows: List[_FluidFlow] = []
         for spec in workload.flows:
@@ -245,6 +249,10 @@ class FlowLevelEngine:
         now = self.simulator.now
         self._drain_to(now)
         self._recomputes += 1
+        probes = self.probes
+        if probes.enabled:
+            probes.count("fluid.recomputes")
+            probes.sample("fluid.active_flows", now, len(self._active))
         paths: Dict[Tuple[int, int], LinkPath] = {}
         weights: Dict[Tuple[int, int], float] = {}
         for flow_id in sorted(self._active):
@@ -348,6 +356,8 @@ def run_flow_experiment(
     config: ExperimentConfig,
     workload: Optional[Workload] = None,
     trace: TraceSink = NULL_SINK,
+    probes: Optional[TelemetryRecorder] = None,
+    profile: bool = False,
 ):
     """Run one experiment at flow-level fidelity; mirrors ``run_experiment``.
 
@@ -365,14 +375,25 @@ def run_flow_experiment(
     # metric derives from it, so the real-clock read cannot perturb results.
     # repro: allow[no-wallclock-or-global-random] -- diagnostic only
     wall_start = _wallclock.monotonic()
+    if probes is not None:
+        trace = TeeSink(trace, probes)
     simulator = Simulator()
+    if profile:
+        simulator.profiler = EngineProfiler()
     streams = RandomStreams(config.seed)
     topology = build_topology(config, simulator, trace)
     if workload is None:
         workload = build_workload(config, topology, streams)
 
     fabric = FluidFabric(topology)
-    engine = FlowLevelEngine(config, fabric, workload, streams, trace=trace)
+    engine = FlowLevelEngine(
+        config,
+        fabric,
+        workload,
+        streams,
+        trace=trace,
+        probes=probes if probes is not None else NULL_PROBES,
+    )
     if config.fault_schedule:
         engine.arm_faults(config.fault_schedule)
     engine.start()
@@ -382,11 +403,17 @@ def run_flow_experiment(
         wallclock_limit=config.wallclock_limit_s,
     )
     metrics = engine.finalise(config.horizon_s)
+    # repro: allow[no-wallclock-or-global-random] -- diagnostic only (above)
+    wallclock_s = _wallclock.monotonic() - wall_start
+    diagnostics = None
+    if profile:
+        diagnostics = profile_diagnostics(simulator.profiler, simulator, wallclock_s)
+        diagnostics["fluid_recomputes"] = engine.recomputes
     return ExperimentResult(
         config=config,
         metrics=metrics,
         events_processed=simulator.events_processed,
-        # repro: allow[no-wallclock-or-global-random] -- diagnostic only (above)
-        wallclock_s=_wallclock.monotonic() - wall_start,
+        wallclock_s=wallclock_s,
         workload_size=len(workload.flows),
+        diagnostics=diagnostics,
     )

@@ -326,6 +326,12 @@ class PacketPool:
         self.allocated = 0
         self.reused = 0
         self.released = 0
+        # Profiling (off by default: one falsy attribute check per
+        # acquire/release).  ``outstanding``/``highwater`` track live packets
+        # only while ``profile`` is on — diagnostics, never simulation state.
+        self.profile = False
+        self.outstanding = 0
+        self.highwater = 0
 
     # ------------------------------------------------------------------
 
@@ -353,8 +359,18 @@ class PacketPool:
             # Re-running __init__ rewrites every slot (and clears _in_pool).
             packet.__init__(**fields)
             self.reused += 1
+            if self.profile:
+                outstanding = self.outstanding + 1
+                self.outstanding = outstanding
+                if outstanding > self.highwater:
+                    self.highwater = outstanding
             return packet
         self.allocated += 1
+        if self.profile:
+            outstanding = self.outstanding + 1
+            self.outstanding = outstanding
+            if outstanding > self.highwater:
+                self.highwater = outstanding
         return Packet(**fields)
 
     def release(self, packet: Packet) -> None:
@@ -370,6 +386,8 @@ class PacketPool:
             raise RuntimeError(f"double release of packet {packet.packet_id}")
         packet._in_pool = True
         self.released += 1
+        if self.profile:
+            self.outstanding -= 1
         if self.debug:
             packet._poison()
         if len(self._free) < self.max_free:
@@ -417,6 +435,22 @@ def set_pool_debug(enabled: bool) -> bool:
     if previous != enabled:
         _default_pool.debug = enabled
         _default_pool.clear()
+    return previous
+
+
+def set_pool_profile(enabled: bool) -> bool:
+    """Toggle outstanding/highwater tracking on the default pool.
+
+    Returns the previous setting.  Enabling resets the watermarks so a
+    profiled run reports its own peak, not a predecessor's; pooling itself
+    is unaffected (the free list is preserved) and simulation results never
+    depend on the setting.
+    """
+    previous = _default_pool.profile
+    _default_pool.profile = enabled
+    if enabled and not previous:
+        _default_pool.outstanding = 0
+        _default_pool.highwater = 0
     return previous
 
 

@@ -1,0 +1,53 @@
+"""Unified observability: telemetry probes, engine profiler, timeline export.
+
+The deterministic telemetry layer for the MMPTCP reproduction:
+
+* :mod:`repro.obs.telemetry` — run-scoped probes (counters, gauges,
+  simulated-time series, bounded event logs) behind the zero-cost
+  ``NULL_PROBES`` convention, plus byte-stable JSONL rendering;
+* :mod:`repro.obs.profiler` — the ``--profile`` event-loop profiler whose
+  ``diagnostics`` output is the one sanctioned wall-clock island, excluded
+  from store keys, goldens and every byte-compare surface;
+* :mod:`repro.obs.chrome` — ``repro-mmptcp trace export``: telemetry JSONL
+  → Chrome trace-event / Perfetto timeline JSON.
+
+Everything probe-visible is keyed on simulated time and downsampled
+deterministically, so telemetry holds the same invariant as metrics and
+traces: byte-identical output for any ``--workers`` value.
+"""
+
+from repro.obs.chrome import chrome_trace_document
+from repro.obs.profiler import EngineProfiler, pool_counters, profile_diagnostics
+from repro.obs.telemetry import (
+    ALL_GROUPS,
+    NULL_PROBES,
+    PROBE_GROUPS,
+    TELEMETRY_SCHEMA,
+    SeriesBuffer,
+    TeeSink,
+    TelemetryProbes,
+    TelemetryRecorder,
+    make_recorder,
+    probe_groups_argument,
+    telemetry_jsonl,
+    telemetry_records,
+)
+
+__all__ = [
+    "ALL_GROUPS",
+    "NULL_PROBES",
+    "PROBE_GROUPS",
+    "TELEMETRY_SCHEMA",
+    "EngineProfiler",
+    "SeriesBuffer",
+    "TeeSink",
+    "TelemetryProbes",
+    "TelemetryRecorder",
+    "chrome_trace_document",
+    "make_recorder",
+    "pool_counters",
+    "probe_groups_argument",
+    "profile_diagnostics",
+    "telemetry_jsonl",
+    "telemetry_records",
+]

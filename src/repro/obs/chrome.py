@@ -1,0 +1,128 @@
+"""Timeline export: telemetry records → Chrome trace-event / Perfetto JSON.
+
+``repro-mmptcp trace export run.jsonl --output run.trace.json`` converts a
+recorded telemetry document into the Trace Event Format that
+``chrome://tracing``, Perfetto UI (https://ui.perfetto.dev) and Speedscope
+all open, so a single incast or vm-migration run becomes visually
+debuggable: one named track per host/switch/subflow, instant events for
+probe/fault events, counter tracks for every recorded series.
+
+Mapping (simulated seconds → trace microseconds):
+
+* ``event`` records become instant events (``ph: "i"``) on the track
+  derived from the record (series/name suffix after ``/``, else the
+  payload's ``node``, else ``flow<id>[.sf<id>]``, else ``run``);
+* ``series`` records become counter events (``ph: "C"``), one per sample,
+  which the viewers render as a stepped area chart;
+* each track gets a ``thread_name`` metadata event; tids are assigned in
+  sorted label order, so the document is a pure function of the telemetry.
+
+``diagnostics`` records are carried over verbatim under ``otherData`` —
+they are operator-facing context in the viewer, not a byte-compare surface.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+#: Trace Event Format process id: everything lives in one logical process.
+_PID = 1
+
+#: The catch-all track for records with no derivable entity.
+_RUN_TRACK = "run"
+
+
+def _track_label(name: str, data: Optional[Dict[str, Any]] = None) -> str:
+    """The track a record belongs on (see module docstring for the rules)."""
+    if "/" in name:
+        return name.split("/", 1)[1]
+    if data:
+        node = data.get("node")
+        if node is not None:
+            return str(node)
+        flow_id = data.get("flow_id")
+        if flow_id is not None:
+            subflow_id = data.get("subflow_id")
+            if subflow_id is not None:
+                return f"flow{flow_id}.sf{subflow_id}"
+            return f"flow{flow_id}"
+    return _RUN_TRACK
+
+
+def chrome_trace_document(records: Iterable[Dict[str, Any]]) -> Dict[str, Any]:
+    """Build one Chrome trace-event JSON document from telemetry records.
+
+    Deterministic by construction: tids follow sorted track labels, events
+    keep their recorded order, and the caller serialises the result through
+    ``dumps_deterministic``.
+    """
+    staged: List[Tuple[str, Dict[str, Any]]] = []  # (track label, event)
+    other: Dict[str, Any] = {}
+    for record in records:
+        kind = record.get("kind")
+        if kind == "series":
+            name = record.get("name", "")
+            label = _track_label(name)
+            for time_s, value in record.get("samples", []):
+                staged.append(
+                    (
+                        label,
+                        {
+                            "ph": "C",
+                            "name": name,
+                            "ts": time_s * 1e6,
+                            "args": {"value": value},
+                        },
+                    )
+                )
+        elif kind == "event":
+            name = record.get("name", "")
+            data = record.get("data", {})
+            label = _track_label(name, data)
+            staged.append(
+                (
+                    label,
+                    {
+                        "ph": "i",
+                        "s": "t",
+                        "name": name,
+                        "ts": record.get("time_s", 0.0) * 1e6,
+                        "args": data,
+                    },
+                )
+            )
+        elif kind == "counter":
+            # End-of-run totals have no timeline position; surface them in
+            # the document's metadata where viewers show run-level context.
+            other.setdefault("counters", {})[record.get("name", "")] = record.get("value")
+        elif kind == "diagnostics":
+            other["diagnostics"] = record.get("diagnostics")
+        elif kind == "header":
+            other["telemetry_header"] = {
+                key: value for key, value in record.items() if key != "kind"
+            }
+
+    labels = sorted({label for label, _ in staged})
+    tids = {label: index + 1 for index, label in enumerate(labels)}
+    trace_events: List[Dict[str, Any]] = [
+        {
+            "ph": "M",
+            "name": "thread_name",
+            "pid": _PID,
+            "tid": tids[label],
+            "args": {"name": label},
+        }
+        for label in labels
+    ]
+    for label, event in staged:
+        event["pid"] = _PID
+        event["tid"] = tids[label]
+        trace_events.append(event)
+    return {
+        "displayTimeUnit": "ms",
+        "traceEvents": trace_events,
+        "otherData": other,
+    }
+
+
+__all__ = ["chrome_trace_document"]

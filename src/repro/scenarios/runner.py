@@ -12,7 +12,7 @@ same determinism contract as every other sweep in the repository.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.parallel import RunSpec, SweepRunner, resolve_workers
@@ -41,6 +41,8 @@ def _specs_for(
     base_config: ExperimentConfig,
     scenario_specs: Sequence[ScenarioSpec],
     protocols: Sequence[str],
+    probes: Tuple[str, ...] = (),
+    profile: bool = False,
 ) -> List[RunSpec]:
     if not scenario_specs or not protocols:
         raise ValueError("need at least one scenario and one protocol")
@@ -55,6 +57,8 @@ def _specs_for(
                     workload_factory=build_scenario_workload,
                     workload_args=(spec.workload, spec.fan_in, spec.response_bytes, spec.receiver),
                     tag={"scenario": spec.name, "protocol": protocol},
+                    probes=probes,
+                    profile=profile,
                 )
             )
     return specs
@@ -64,9 +68,17 @@ def scenario_run_specs(
     base_config: ExperimentConfig,
     scenarios: Sequence[str],
     protocols: Sequence[str],
+    probes: Tuple[str, ...] = (),
+    profile: bool = False,
 ) -> List[RunSpec]:
     """One :class:`RunSpec` per (scenario, protocol) cell, in matrix order."""
-    return _specs_for(base_config, [get_scenario(name) for name in scenarios], protocols)
+    return _specs_for(
+        base_config,
+        [get_scenario(name) for name in scenarios],
+        protocols,
+        probes=probes,
+        profile=profile,
+    )
 
 
 class ScenarioMatrixRunner:
@@ -76,10 +88,14 @@ class ScenarioMatrixRunner:
         self,
         base_config: Optional[ExperimentConfig] = None,
         workers: Optional[int] = 1,
+        probes: Tuple[str, ...] = (),
+        profile: bool = False,
     ) -> None:
         self.base_config = base_config if base_config is not None else tiny_config()
         # Fail fast on nonsense worker counts instead of at run() time.
         self.workers = resolve_workers(workers)
+        self.probes = probes
+        self.profile = profile
 
     def run(
         self,
@@ -92,7 +108,13 @@ class ScenarioMatrixRunner:
         # entry is overwritten while the matrix runs.
         scenario_specs = [get_scenario(name) for name in scenarios]
         spec_by_name = {spec.name: spec for spec in scenario_specs}
-        specs = _specs_for(self.base_config, scenario_specs, protocols)
+        specs = _specs_for(
+            self.base_config,
+            scenario_specs,
+            protocols,
+            probes=self.probes,
+            profile=self.profile,
+        )
         results = SweepRunner(self.workers).run(specs)
         cells: List[ScenarioCell] = []
         for spec, result in zip(specs, results):

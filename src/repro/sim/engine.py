@@ -129,6 +129,10 @@ class Simulator:
         self._wheel = TimerWheel()
         self.events_processed: int = 0
         self.heap_compactions: int = 0
+        #: Optional dispatch profiler (see :mod:`repro.obs.profiler`).  The
+        #: run loop re-binds it as a local per run; None (the default) costs
+        #: one local None-check per event.
+        self.profiler: Optional[Any] = None
 
     # ------------------------------------------------------------------
     # Clock
@@ -143,6 +147,11 @@ class Simulator:
     def is_running(self) -> bool:
         """True while :meth:`run` is executing events."""
         return self._running
+
+    @property
+    def timer_wheel(self) -> TimerWheel:
+        """The engine's timer wheel (read-only; profiler/diagnostics use)."""
+        return self._wheel
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -246,6 +255,7 @@ class Simulator:
             queue = self._queue
             wheel = self._wheel
             pop = heappop
+            profiler = self.profiler
             bounded = max_events is not None or wallclock_limit is not None
 
             while not self._stopped:
@@ -272,6 +282,8 @@ class Simulator:
                         break
                     pop(queue)
                     self._now = when
+                    if profiler is not None:
+                        profiler.note(event.callback)
                     event.callback(*event.args)
                 elif entry is not None:
                     when = entry[0]
@@ -281,6 +293,8 @@ class Simulator:
                     timer = entry[2]
                     wheel.pop()
                     self._now = when
+                    if profiler is not None:
+                        profiler.note(timer.callback)
                     timer.callback(*timer.args)
                 else:
                     # Both sources exhausted.

@@ -166,6 +166,7 @@ class TimerWheel:
         "live_count",
         "_stale",
         "sweeps",
+        "cascades",
     )
 
     def __init__(self, tick: float = 1e-3, slots_per_level: int = 256) -> None:
@@ -193,6 +194,7 @@ class TimerWheel:
         self.live_count = 0
         self._stale = 0
         self.sweeps = 0  # diagnostic: how many hygiene sweeps have run
+        self.cascades = 0  # diagnostic: coarse/overflow re-bucketing passes
 
     # ------------------------------------------------------------------
     # Insertion
@@ -322,6 +324,7 @@ class TimerWheel:
                 heappop(keys1)
             if keys1 and keys1[0] * self._tick1 < end0:
                 # The coarse bucket may hold entries before end0: cascade it.
+                self.cascades += 1
                 for entry in buckets1.pop(heappop(keys1)):
                     if entry[2].sequence == entry[1]:
                         self._insert_level(entry, buckets0, keys0, tick)
@@ -330,6 +333,7 @@ class TimerWheel:
                 continue
             if overflow and overflow[0][0] < end0:
                 # Promote a coarse-slot-sized window of overflow entries.
+                self.cascades += 1
                 bound = min(end0, overflow[0][0] + self._tick1)
                 while overflow and overflow[0][0] < bound:
                     entry = heappop(overflow)
@@ -379,6 +383,7 @@ class TimerWheel:
             for key, entries in buckets.items():
                 kept = _live(entries)
                 if kept:
+                    # repro: allow[no-mutation-during-iteration] -- value swap, never resizes
                     buckets[key] = kept
                 else:
                     dead_keys.append(key)

@@ -12,7 +12,7 @@ from __future__ import annotations
 import hashlib
 from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Any, Callable, DefaultDict, Dict, Iterable, List
+from typing import Any, Callable, DefaultDict, Dict, Iterable, List, Optional
 
 
 @dataclass
@@ -34,26 +34,55 @@ class TraceSink:
 
 
 class RecordingTraceSink(TraceSink):
-    """A sink that stores every event in memory, grouped by name."""
+    """A sink that stores every event in memory, grouped by name.
 
-    def __init__(self) -> None:
+    ``max_events`` bounds memory for long recordings (flow-level runs can
+    emit millions of events): once the log exceeds the bound, the *oldest*
+    events are evicted — deterministically, in amortised O(1) batches — and
+    :attr:`overflowed` latches so consumers know the record is a suffix,
+    not the whole run.  The default (``None``) keeps everything, which is
+    what the golden-trace tests rely on.
+    """
+
+    def __init__(self, max_events: Optional[int] = None) -> None:
+        if max_events is not None and max_events < 1:
+            raise ValueError("max_events must be a positive count (or None)")
         self.enabled = True
+        self.max_events = max_events
+        self.overflowed = False
+        self.events_dropped = 0
         self.events: List[TraceEvent] = []
         self.by_name: DefaultDict[str, List[TraceEvent]] = defaultdict(list)
 
     def emit(self, time: float, name: str, **data: Any) -> None:
         event = TraceEvent(time=time, name=name, data=data)
-        self.events.append(event)
+        events = self.events
+        events.append(event)
         self.by_name[name].append(event)
+        # Amortised batch eviction: let the log grow to twice the bound,
+        # then cut the oldest half in one slice and rebuild the per-name
+        # index from the survivors.  Which events survive depends only on
+        # the emitted sequence, never on timing.
+        max_events = self.max_events
+        if max_events is not None and len(events) > 2 * max_events:
+            excess = len(events) - max_events
+            del events[:excess]
+            self.events_dropped += excess
+            self.overflowed = True
+            self.by_name.clear()
+            for survivor in events:
+                self.by_name[survivor.name].append(survivor)
 
     def count(self, name: str) -> int:
-        """Number of events recorded under ``name``."""
+        """Number of events recorded under ``name`` (post-eviction)."""
         return len(self.by_name[name])
 
     def clear(self) -> None:
-        """Forget all recorded events."""
+        """Forget all recorded events (the overflow latch too)."""
         self.events.clear()
         self.by_name.clear()
+        self.overflowed = False
+        self.events_dropped = 0
 
 
 class CallbackTraceSink(TraceSink):

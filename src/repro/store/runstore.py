@@ -262,6 +262,44 @@ class RunStore:
     # Maintenance
     # ------------------------------------------------------------------
 
+    def lru_entries(self) -> List[Tuple[str, int, int]]:
+        """``(key, size_bytes, mtime_ns)`` per artifact, eviction order first.
+
+        Sorted by ``(mtime_ns, key)`` — last modification time with the key
+        as the deterministic tie-break.  This single ordering is shared by
+        the ``store verify --budget`` preview and :meth:`gc_budget`, so the
+        preview always names exactly the artifacts a real sweep would evict.
+        """
+        entries: List[Tuple[str, int, int]] = []
+        for key in self.keys():
+            stat = self.object_path(key).stat()
+            entries.append((key, stat.st_size, stat.st_mtime_ns))
+        entries.sort(key=lambda entry: (entry[2], entry[0]))
+        return entries
+
+    def gc_budget(self, budget_bytes: int, dry_run: bool = False) -> List[str]:
+        """Evict least-recently-modified artifacts until the store fits.
+
+        Removes artifacts in :meth:`lru_entries` order until the remaining
+        total size is within ``budget_bytes``; a store already under budget
+        removes nothing.  Returns the evicted (or, with ``dry_run``,
+        evictable) keys in eviction order.
+        """
+        if budget_bytes < 0:
+            raise StoreError(f"budget must be non-negative, got {budget_bytes}")
+        entries = self.lru_entries()
+        excess = sum(size for _, size, _ in entries) - budget_bytes
+        victims: List[str] = []
+        freed = 0
+        for key, size, _ in entries:
+            if freed >= excess:
+                break
+            victims.append(key)
+            freed += size
+        if victims and not dry_run:
+            self.remove_many(victims)
+        return victims
+
     def gc(self, keep: Iterable[str], dry_run: bool = False) -> List[str]:
         """Remove every artifact whose key is not in ``keep``.
 

@@ -13,6 +13,7 @@ from typing import Callable, Optional
 
 from repro.net.host import Host
 from repro.net.packet import Packet
+from repro.obs.telemetry import NULL_PROBES, TelemetryProbes
 from repro.sim.engine import Simulator
 from repro.sim.tracing import NULL_SINK, TraceSink
 from repro.sim.units import milliseconds
@@ -111,6 +112,14 @@ class Endpoint:
     #: interface table — ``Host.send_via`` raises ``ValueError`` on a stale
     #: or misconfigured pin instead of silently aliasing onto another uplink.
     egress_interface: Optional[int] = None
+
+    #: Telemetry probe sink (see :mod:`repro.obs.telemetry`).  The disabled
+    #: singleton as a class attribute follows the same zero-cost convention
+    #: as ``egress_interface``: unprobed endpoints pay one attribute read
+    #: and a falsy ``enabled`` check at each instrumentation point, and no
+    #: per-instance storage.  The experiment runner assigns a
+    #: ``TelemetryRecorder`` per flow when probes are requested.
+    probes: TelemetryProbes = NULL_PROBES
 
     def __init__(
         self,

@@ -22,6 +22,7 @@ from typing import Callable, Deque, Dict, List, Optional, Tuple
 
 from repro.net.host import Host
 from repro.net.packet import FLAG_ACK, FLAG_SYN, Packet, acquire_packet, make_ack
+from repro.obs.telemetry import NULL_PROBES, TelemetryProbes
 from repro.sim.engine import Simulator
 from repro.sim.tracing import NULL_SINK, TraceSink
 from repro.transport.base import Endpoint, SenderStats, TcpConfig
@@ -146,6 +147,11 @@ class MptcpSubflow(TcpSender):
 class MptcpConnection:
     """Sender side of an MPTCP connection."""
 
+    #: Telemetry probe sink; the disabled-singleton class attribute mirrors
+    #: :attr:`repro.transport.base.Endpoint.probes`.  Attach a recorder with
+    #: :meth:`set_probes` so existing subflows pick it up too.
+    probes: TelemetryProbes = NULL_PROBES
+
     def __init__(
         self,
         simulator: Simulator,
@@ -211,8 +217,21 @@ class MptcpConnection:
     # Subflow management
     # ------------------------------------------------------------------
 
+    def set_probes(self, probes: TelemetryProbes) -> None:
+        """Attach a telemetry sink to the connection and every subflow.
+
+        Subflows created later (e.g. replacements after a peer
+        readdressing) inherit it through :meth:`_create_subflows`.
+        """
+        self.probes = probes
+        for subflow in self.subflows:
+            subflow.probes = probes
+
     def _create_subflows(self, count: int, first_subflow_id: int) -> List[MptcpSubflow]:
         created = self.path_manager.create_subflows(self, count, first_subflow_id)
+        if self.probes.enabled:
+            for subflow in created:
+                subflow.probes = self.probes
         self.subflows.extend(created)
         return created
 
@@ -344,6 +363,8 @@ class MptcpConnection:
             dsn, size = self._reinjection_queue.popleft()
             if dsn + size <= self.data_acked:
                 continue  # delivered (and acked) before the subflows died
+            if self.probes.enabled:
+                self.probes.count("transport.reinjections")
             return dsn, size
         if self.all_data_allocated:
             return None
@@ -436,12 +457,15 @@ class MptcpConnection:
 
     def _refill_subflow(self, subflow: MptcpSubflow) -> None:
         """Serve ``subflow``'s demand for chunks, subject to the scheduler."""
+        probes = self.probes
         while (
             subflow.established
             and subflow.snd_una + subflow.cwnd > subflow.total_bytes
             and self._has_data_for(subflow)
         ):
             if not self._scheduler_grants(subflow):
+                if probes.enabled:
+                    probes.count("scheduler.refusals")
                 break
             chunk = self.allocate_chunk(subflow)
             if chunk is None:
@@ -449,6 +473,9 @@ class MptcpConnection:
             dsn, size = chunk
             subflow._segments[subflow.total_bytes] = (dsn, size)
             subflow.total_bytes += size
+            if probes.enabled:
+                probes.count("scheduler.grants")
+                probes.count(f"scheduler.grants/flow{self.flow_id}.sf{subflow.subflow_id}")
             self.scheduler.chunk_assigned(subflow, self.subflows)
 
     def _pump_scheduler(self) -> None:

@@ -232,6 +232,14 @@ class TcpSender(Endpoint):
 
         self._apply_cwnd_cap()
 
+        probes = self.probes
+        if probes.enabled:
+            now = self.simulator.now
+            track = f"flow{self.flow_id}.sf{self.subflow_id}"
+            probes.sample(f"transport.cwnd/{track}", now, self.cwnd)
+            probes.sample(f"transport.ssthresh/{track}", now, self.ssthresh)
+            probes.sample(f"transport.srtt_s/{track}", now, self.rto_estimator.smoothed_rtt)
+
         if self.snd_una >= self.total_bytes and self._all_data_allocated():
             self._on_all_data_acked()
             return
@@ -256,6 +264,8 @@ class TcpSender(Endpoint):
         self.recover_seq = self.snd_nxt
         self.in_fast_recovery = True
         self.stats.fast_retransmits += 1
+        if self.probes.enabled:
+            self.probes.count("transport.fast_retransmit")
         self._last_fast_retx_seq = self.snd_una
         self._last_fast_retx_time = self.simulator.now
         self._retransmit_segment(self.snd_una)
@@ -361,6 +371,8 @@ class TcpSender(Endpoint):
     # ------------------------------------------------------------------
 
     def _restart_rto_timer(self) -> None:
+        if self.probes.enabled:
+            self.probes.count("transport.rto_armed")
         self._rto_timer.arm(self.rto_estimator.rto)
 
     def _cancel_rto_timer(self) -> None:
@@ -379,6 +391,17 @@ class TcpSender(Endpoint):
             return
 
         self.stats.rto_events += 1
+        probes = self.probes
+        if probes.enabled:
+            probes.count("transport.rto_fired")
+            probes.event(
+                "transport.rto",
+                self.simulator.now,
+                flow_id=self.flow_id,
+                subflow_id=self.subflow_id,
+                seq=self.snd_una,
+                rto_s=self.rto_estimator.rto,
+            )
         self.ssthresh = self.cc.ssthresh_after_loss(self, LOSS_TIMEOUT)
         self.cwnd = float(self.mss)
         self.in_fast_recovery = False

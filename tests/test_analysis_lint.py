@@ -26,6 +26,7 @@ from repro.cli import main
 REPO_ROOT = Path(repro.__file__).resolve().parents[2]
 
 ALL_RULES = (
+    "no-mutation-during-iteration",
     "no-raw-json",
     "no-unordered-iteration",
     "no-wallclock-or-global-random",
@@ -158,6 +159,52 @@ def test_unordered_iteration_allows_sorted_and_other_packages(tmp_path) -> None:
     assert _lint(tmp_path, "src/repro/topology/thing.py", compliant).clean
     unscoped = "def walk(nodes):\n    return [x for x in set(nodes)]\n"
     assert _lint(tmp_path, "src/repro/metrics/thing.py", unscoped).clean
+
+
+# ---------------------------------------------------------------------------
+# no-mutation-during-iteration
+# ---------------------------------------------------------------------------
+
+
+def test_mutation_during_iteration_fires_on_direct_and_view_loops(tmp_path) -> None:
+    source = (
+        "class Engine:\n"
+        "    def prune(self):\n"
+        "        for flow in self._active:\n"
+        "            self._active.discard(flow)\n"
+        "        for key, value in self.table.items():\n"
+        "            self.table[key + 1] = value\n"
+        "        for value in self.table.values():\n"
+        "            self.table.clear()\n"
+    )
+    report = _lint(tmp_path, "src/repro/sim/thing.py", source)
+    assert _rules_fired(report) == ["no-mutation-during-iteration"] * 3
+    assert [violation.line for violation in report.violations] == [4, 6, 8]
+
+
+def test_mutation_during_iteration_allows_snapshots_and_post_loop_sweeps(tmp_path) -> None:
+    compliant = (
+        "class Engine:\n"
+        "    def prune(self):\n"
+        "        for flow in list(self._active):\n"
+        "            self._active.discard(flow)\n"
+        "        for key in sorted(self.table):\n"
+        "            self.table.pop(key)\n"
+        "        dead = []\n"
+        "        for key, value in self.table.items():\n"
+        "            self.counts[key] = value\n"
+        "            if not value:\n"
+        "                dead.append(key)\n"
+        "        for key in dead:\n"
+        "            del self.table[key]\n"
+    )
+    assert _lint(tmp_path, "src/repro/net/thing.py", compliant).clean
+
+
+def test_mutation_during_iteration_scoped_to_sim_and_net(tmp_path) -> None:
+    unscoped = "def f(table):\n    for key in table:\n        table.pop(key)\n"
+    assert _lint(tmp_path, "src/repro/metrics/thing.py", unscoped).clean
+    assert not _lint(tmp_path, "src/repro/sim/thing.py", unscoped).clean
 
 
 # ---------------------------------------------------------------------------

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import pytest
+
 from repro.sim.tracing import NULL_SINK, CallbackTraceSink, RecordingTraceSink, TraceSink
 
 
@@ -30,6 +32,31 @@ def test_recording_sink_clear() -> None:
     sink.clear()
     assert sink.count("drop") == 0
     assert sink.events == []
+
+
+def test_recording_sink_max_events_evicts_oldest_deterministically() -> None:
+    sink = RecordingTraceSink(max_events=10)
+    for index in range(25):
+        sink.emit(index * 0.01, "drop" if index % 2 else "rto", index=index)
+    assert sink.overflowed
+    assert sink.events_dropped + len(sink.events) == 25
+    assert len(sink.events) <= 2 * 10
+    # Survivors are exactly the newest suffix, and the per-name index
+    # matches the surviving event list.
+    survivors = [event.data["index"] for event in sink.events]
+    assert survivors == list(range(25 - len(survivors), 25))
+    assert sink.count("drop") + sink.count("rto") == len(sink.events)
+    for name, grouped in sink.by_name.items():
+        assert all(event.name == name for event in grouped)
+    # clear() resets the overflow latch too.
+    sink.clear()
+    assert not sink.overflowed
+    assert sink.events_dropped == 0
+
+
+def test_recording_sink_rejects_nonpositive_bounds() -> None:
+    with pytest.raises(ValueError, match="max_events"):
+        RecordingTraceSink(max_events=0)
 
 
 def test_callback_sink_invokes_matching_callbacks_only() -> None:
